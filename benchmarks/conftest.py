@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one figure/table of the paper through the
+drivers in :mod:`repro.experiments.figures` and prints the resulting
+rows/series (run pytest with ``-s`` to see them inline; they are also
+summarized in EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a result's textual rendering under the benchmark banner."""
+
+    def _show(result):
+        text = result.render() if hasattr(result, "render") else str(result)
+        print("\n" + text + "\n")
+        return result
+
+    return _show

@@ -1,0 +1,86 @@
+"""Ablation: number of SNR levels r in the traffic matrix.
+
+The paper found two levels sufficient (Section 3). This ablation runs
+the mixed-SNR workload with r = 1 (SNR-blind) and r = 2: collapsing the
+SNR dimension must cost accuracy, because the same flow counts behave
+differently depending on where the clients sit.
+"""
+
+import numpy as np
+
+from repro.core.admittance import AdmittanceClassifier
+from repro.experiments.datasets import build_simulation_dataset
+from repro.experiments.figures import trained_estimator
+from repro.experiments.harness import ExBoxScheme, evaluate_scheme
+from repro.traffic.livelab import LiveLabSynthesizer
+from repro.wireless.channel import SnrBinner
+from repro.wireless.fluid import FluidWiFiCell
+
+
+def _samples(binner, seed=43, n=1200):
+    rng = np.random.default_rng(seed)
+    estimator = trained_estimator(seed=seed)
+    synthesizer = LiveLabSynthesizer(
+        n_users=40, days=10.0, sessions_per_user_day=40.0, duration_scale=8.0
+    )
+    matrices = synthesizer.matrices(rng, max_total_flows=60)[:n]
+    cell = FluidWiFiCell.ns3_80211n()
+    return build_simulation_dataset(
+        cell, matrices, rng, estimator, binner=binner, mixed_snr=True
+    )
+
+
+def _collapse_to_single_level(samples):
+    """Strip the SNR structure from the feature vectors (r=1 view)."""
+    from repro.experiments.datasets import LabeledSample
+    from repro.core.excr import encode_event
+    from repro.traffic.arrival import FlowEvent
+    from repro.traffic.flows import APP_CLASSES
+
+    collapsed = []
+    for sample in samples:
+        before = sample.event.matrix_before
+        merged = tuple(
+            before[2 * i] + before[2 * i + 1] for i in range(len(APP_CLASSES))
+        )
+        event = FlowEvent(
+            matrix_before=merged,
+            app_class_index=sample.event.app_class_index,
+            snr_level=0,
+        )
+        collapsed.append(
+            LabeledSample(event=event, x=encode_event(event), y=sample.y, run=sample.run)
+        )
+    return collapsed
+
+
+def test_ablation_snr_levels(benchmark, show):
+    def run_both():
+        two_level = _samples(SnrBinner.two_level())
+        one_level = _collapse_to_single_level(two_level)
+        out = {}
+        for name, stream in (("r=2", two_level), ("r=1", one_level)):
+            scheme = ExBoxScheme(
+                AdmittanceClassifier(
+                    batch_size=100,
+                    min_bootstrap_samples=50,
+                    max_bootstrap_samples=len(stream) // 10,
+                    max_buffer=1200,
+                )
+            )
+            out[name] = evaluate_scheme(
+                stream, scheme, n_bootstrap=len(stream) // 10, eval_every=300
+            )
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for name, series in results.items():
+        print(
+            f"{name}: precision={series.final_precision:.3f} "
+            f"accuracy={series.final_accuracy:.3f}"
+        )
+
+    # Modelling SNR must help (or at minimum never hurt) under SNR
+    # diversity — the reason ExCR carries the r dimension at all.
+    assert results["r=2"].final_accuracy >= results["r=1"].final_accuracy - 0.02
+    assert results["r=2"].final_accuracy >= 0.75

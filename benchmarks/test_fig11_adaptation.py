@@ -1,0 +1,33 @@
+"""Figure 11: adapting to network changes (throttled network).
+
+Paper shape: bootstrapped on the unthrottled network, the classifier's
+precision collapses right after the throttle (~0.5 in the paper) and
+recovers toward ~0.8+ with subsequent online batches; LTE adapts
+faster; the baselines never recover because they never learn.
+"""
+
+from repro.experiments.figures import fig11_adaptation
+
+
+def test_fig11_adaptation(benchmark, show):
+    result = benchmark.pedantic(fig11_adaptation, rounds=1, iterations=1)
+    show(result)
+
+    for network, series in (("wifi", result.wifi), ("lte", result.lte)):
+        exbox = series["ExBox"]
+        # Collapse then recovery: the last window clearly beats the first.
+        assert exbox.precision[-1] >= exbox.precision[0] + 0.2
+        assert exbox.precision[-1] >= 0.7
+        # Learned model ends above the static baselines' final window.
+        assert exbox.accuracy[-1] > series["RateBased"].accuracy[-1]
+        assert exbox.accuracy[-1] > series["MaxClient"].accuracy[-1]
+
+    # LTE reaches a high-precision window at least as early as WiFi
+    # (the paper: "ExBox over LTE adapts faster").
+    def first_good(series, bar=0.8):
+        for i, value in enumerate(series.precision):
+            if value >= bar:
+                return i
+        return len(series.precision)
+
+    assert first_good(result.lte["ExBox"]) <= first_good(result.wifi["ExBox"]) + 1

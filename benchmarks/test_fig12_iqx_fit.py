@@ -1,0 +1,34 @@
+"""Figure 12: fitting the IQX equation per application class.
+
+Paper shape: the rate x latency training sweep yields three distinct
+saturating-exponential fits — web PLT and streaming startup delay fall
+toward an asymptote as QoS improves (beta > 0), conferencing PSNR rises
+toward a ceiling (beta < 0) — with single-digit RMSE in each metric's
+native unit (paper: 1.37 s, 3.64 s, 4.46 dB).
+"""
+
+from repro.experiments.figures import fig12_iqx_fits
+from repro.traffic.flows import CONFERENCING, STREAMING, WEB
+
+
+def test_fig12_iqx_fits(benchmark, show):
+    result = benchmark.pedantic(fig12_iqx_fits, rounds=1, iterations=1)
+    show(result)
+
+    web = result.models[WEB]
+    streaming = result.models[STREAMING]
+    conferencing = result.models[CONFERENCING]
+
+    # Orientation per metric.
+    assert web.beta > 0 and web.decreasing
+    assert streaming.beta > 0 and streaming.decreasing
+    assert conferencing.beta < 0 and not conferencing.decreasing
+
+    # RMSE in the paper's single-digit band, per metric unit.
+    assert web.rmse < 7.0  # seconds (paper: 1.37 s)
+    assert streaming.rmse < 8.0  # seconds (paper: 3.64 s)
+    assert conferencing.rmse < 8.0  # dB (paper: 4.46 dB)
+
+    # The fits separate the applications: parameters differ materially.
+    assert abs(web.gamma - conferencing.gamma) > 1e-3
+    assert result.sample_counts[WEB] == 12 * 7 * 10  # full paper sweep

@@ -1,0 +1,31 @@
+"""Figure 14: ExBox in populous networks (ns-3-style simulation).
+
+Paper shape: WiFi with >20 simultaneous flows (sets of 800 samples, 10%
+bootstrap) and LTE with unrestricted LiveLab matrices (650 tuples):
+ExBox precision climbs toward 0.8-0.9 with online samples and the
+recall is somewhat lower (conservative); both baselines trail badly;
+the LTE classifier again outperforms the WiFi one.
+"""
+
+from repro.experiments.figures import fig14_populous
+
+
+def test_fig14_populous(benchmark, show):
+    result = benchmark.pedantic(fig14_populous, rounds=1, iterations=1)
+    show(result)
+
+    for network, series in (("wifi", result.wifi), ("lte", result.lte)):
+        exbox = series["ExBox"]
+        rate = series["RateBased"]
+        maxc = series["MaxClient"]
+        assert exbox.final_precision > rate.final_precision
+        assert exbox.final_accuracy > rate.final_accuracy
+        assert exbox.final_accuracy > maxc.final_accuracy
+        assert exbox.final_precision >= 0.65
+        assert exbox.final_accuracy >= 0.75
+
+    # LTE classifier at least as good as WiFi (paper Section 6.4).
+    assert (
+        result.lte["ExBox"].final_accuracy
+        >= result.wifi["ExBox"].final_accuracy - 0.05
+    )

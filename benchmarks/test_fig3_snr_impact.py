@@ -1,0 +1,29 @@
+"""Figure 3: impact of SNR placement on video-streaming QoE.
+
+Paper shape: with all 4 phones at high SNR every flow meets the 5 s
+startup threshold; mixing in low-SNR phones pushes the low-SNR phones
+over the threshold AND degrades the high-SNR phones (the 802.11
+performance anomaly); all-low placements effectively fail to play.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_snr_impact
+
+
+def test_fig3_snr_impact(benchmark, show):
+    result = benchmark.pedantic(fig3_snr_impact, rounds=1, iterations=1)
+    show(result)
+
+    thr = result.threshold_s
+    # (4,0): all high-SNR phones satisfied.
+    assert all(d <= thr for d in result.high_snr_delays[0])
+    # (0,4): all low-SNR phones fail.
+    assert all(d > thr for d in result.low_snr_delays[-1])
+    # Low-SNR phones never beat high-SNR phones in the same placement.
+    for high, low in zip(result.high_snr_delays, result.low_snr_delays):
+        if high and low:
+            assert min(low) >= max(high) - 0.5
+    # High-SNR phones degrade as low-SNR phones join (anomaly).
+    high_means = [np.mean(h) for h in result.high_snr_delays if h]
+    assert high_means[-1] > high_means[0]

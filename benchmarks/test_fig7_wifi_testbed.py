@@ -1,0 +1,32 @@
+"""Figure 7: WiFi-testbed admission control, Random + LiveLab traffic.
+
+Paper shape: ExBox precision >= 0.8 and accuracy >= 0.85 (mostly), both
+above RateBased and MaxClient throughout; ExBox recall starts lower
+(conservative) and catches up with more online samples; baselines sit
+at high recall but poor precision. Bootstrap completes within ~50
+samples.
+"""
+
+from repro.experiments.figures import fig7_wifi_testbed
+
+
+def test_fig7_wifi_testbed(benchmark, show):
+    result = benchmark.pedantic(fig7_wifi_testbed, rounds=1, iterations=1)
+    show(result)
+
+    for comparison in (result.random, result.livelab):
+        exbox = comparison.series["ExBox"]
+        rate = comparison.series["RateBased"]
+        maxc = comparison.series["MaxClient"]
+        # Headline: ExBox dominates both baselines on precision/accuracy.
+        assert exbox.final_precision > rate.final_precision
+        assert exbox.final_precision > maxc.final_precision
+        assert exbox.final_accuracy > rate.final_accuracy
+        assert exbox.final_accuracy > maxc.final_accuracy
+        # Paper bands.
+        assert exbox.final_precision >= 0.75
+        assert exbox.final_accuracy >= 0.8
+        # Baselines admit liberally: recall stays high.
+        assert rate.final_recall >= 0.9
+    # Bootstrap used at most the paper's ~50-sample budget.
+    assert result.random.n_bootstrap <= 50

@@ -1,0 +1,26 @@
+"""Figure 9: per-application decision accuracy (Random traffic).
+
+Paper shape: ExBox leads for every application class on both networks;
+RateBased is closest to ExBox on streaming (a rate-sensitive class) and
+clearly worse on the delay-sensitive classes (web, conferencing).
+"""
+
+from repro.experiments.figures import fig9_per_app_accuracy
+from repro.traffic.flows import APP_CLASSES, STREAMING
+
+
+def test_fig9_per_app_accuracy(benchmark, show):
+    result = benchmark.pedantic(fig9_per_app_accuracy, rounds=1, iterations=1)
+    show(result)
+
+    for table in (result.wifi, result.lte):
+        exbox, rate = table["ExBox"], table["RateBased"]
+        for cls in APP_CLASSES:
+            # ExBox leads every class.
+            assert exbox[cls] >= rate[cls]
+            assert exbox[cls] >= table["MaxClient"][cls]
+            assert exbox[cls] >= 0.75
+        # RateBased's *relative* gap to ExBox is smallest for the
+        # rate-sensitive class among the classes it trails on.
+        gaps = {cls: exbox[cls] - rate[cls] for cls in APP_CLASSES}
+        assert gaps[STREAMING] <= max(gaps.values())

@@ -1,0 +1,41 @@
+"""Seed robustness of the headline result.
+
+A reproduction is only credible if its headline ordering survives the
+random seed. This bench reruns the Figure 7 WiFi comparison across
+several seeds and requires ExBox's precision/accuracy advantage over
+RateBased to be statistically separated (non-overlapping confidence
+intervals), not a single-seed fluke.
+"""
+
+from repro.experiments.figures import fig7_wifi_testbed
+from repro.experiments.stats import separated, summarize_seeds
+
+
+def _one_seed(seed: int):
+    result = fig7_wifi_testbed(
+        n_online=180, n_bootstrap=50, eval_every=60, seed=seed
+    )
+    series = result.random.series
+    return {
+        "exbox_precision": series["ExBox"].final_precision,
+        "exbox_accuracy": series["ExBox"].final_accuracy,
+        "ratebased_precision": series["RateBased"].final_precision,
+        "ratebased_accuracy": series["RateBased"].final_accuracy,
+    }
+
+
+def test_seed_robustness(benchmark, show):
+    def run():
+        return summarize_seeds(_one_seed, seeds=(7, 17, 27, 37, 47))
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for summary in summaries.values():
+        print(f"  {summary}")
+    print()
+
+    # The ordering is stable and statistically separated across seeds.
+    assert separated(summaries["exbox_precision"], summaries["ratebased_precision"])
+    assert separated(summaries["exbox_accuracy"], summaries["ratebased_accuracy"])
+    assert summaries["exbox_precision"].mean >= 0.8
+    assert summaries["exbox_precision"].std <= 0.15

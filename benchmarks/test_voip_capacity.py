@@ -1,0 +1,55 @@
+"""Supplementary: VoIP capacity of the WiFi cell (paper §2's cited
+Shin & Schulzrinne-style experiment).
+
+The paper's related-work motivation: QoE-based capacity was first
+defined for homogeneous VoIP in 802.11 — "the number of simultaneous
+calls a cell supports with MOS above the satisfaction bar". This bench
+measures that curve on our WiFi models and checks the two structural
+facts the literature reports: capacity is airtime-bound far below the
+naive rate bound (small VoIP packets pay enormous per-frame overhead),
+and the MOS cliff is sharp.
+"""
+
+import numpy as np
+
+from repro.apps.voip import MOS_THRESHOLD, VOIP_DEMAND_BPS, VoipApp
+from repro.experiments.textplot import series_table
+from repro.wireless.fluid import FluidWiFiCell, OfferedFlow
+
+
+def _mos_at(n_calls: int, cell: FluidWiFiCell) -> float:
+    app = VoipApp()
+    flows = [
+        OfferedFlow(i, "voip", VOIP_DEMAND_BPS, 53.0, elastic=False)
+        for i in range(n_calls)
+    ]
+    allocation = cell.allocate(flows)
+    return float(np.median([app.measure_qoe(q) for q in allocation.values()]))
+
+
+def test_voip_capacity(benchmark, show):
+    def run():
+        # Small VoIP frames: 200-byte payloads, overhead-dominated.
+        cell = FluidWiFiCell(frame_payload_bits=200 * 8)
+        counts = list(range(4, 97, 4))
+        return counts, [_mos_at(n, cell) for n in counts]
+
+    counts, mos = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + series_table(counts, {"median MOS": mos}) + "\n")
+
+    capacity = 0
+    for n, m in zip(counts, mos):
+        if m >= MOS_THRESHOLD:
+            capacity = n
+        else:
+            break
+    print(f"VoIP capacity at MOS >= {MOS_THRESHOLD}: {capacity} calls\n")
+
+    # Capacity exists and is airtime-bound: far below the naive
+    # rate-based bound (PHY goodput / codec rate would suggest hundreds).
+    assert capacity >= 10
+    naive_bound = 30e6 / VOIP_DEMAND_BPS
+    assert capacity < 0.5 * naive_bound
+    # MOS is monotone non-increasing and falls off a cliff past capacity.
+    assert all(b <= a + 1e-9 for a, b in zip(mos, mos[1:]))
+    assert mos[-1] < 2.5

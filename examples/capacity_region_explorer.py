@@ -1,0 +1,89 @@
+"""Visualize the learned Experiential Capacity Region.
+
+Trains an Admittance Classifier on the ns-3-style 802.11n simulation
+cell (web count held at 2), then renders the learned admit/reject
+surface over the (streaming, conferencing) plane next to the simulated
+ground truth — an empirical look at Section 2.1's ExCR concept.
+
+Run:  python examples/capacity_region_explorer.py
+"""
+
+import numpy as np
+
+from repro.core.admittance import AdmittanceClassifier
+from repro.core.excr import TrafficMatrix, ExperientialCapacityRegion
+from repro.experiments.datasets import build_simulation_dataset
+from repro.experiments.figures import trained_estimator
+from repro.experiments.textplot import heatmap
+from repro.traffic.flows import APP_CLASSES, CONFERENCING, STREAMING
+from repro.wireless.fluid import FluidWiFiCell
+
+rng = np.random.default_rng(2999)
+WEB_HELD = 2
+MAX_COUNT = 40
+STEP = 4
+
+estimator = trained_estimator(seed=5)
+cell = FluidWiFiCell.ns3_80211n()
+
+# --- training stream: random matrices covering the probed grid ---------
+# (an RBF classifier extrapolates arbitrarily outside its training
+# envelope, so the training totals must span everything we will query)
+matrices = []
+while len(matrices) < 2000:
+    total = int(rng.integers(1, 2 * MAX_COUNT + WEB_HELD + 2))
+    split = rng.multinomial(total, [1 / 3] * 3)
+    matrices.append(tuple(int(v) for v in split))
+samples = build_simulation_dataset(cell, matrices, rng, estimator)
+
+classifier = AdmittanceClassifier(
+    batch_size=100, min_bootstrap_samples=100, max_bootstrap_samples=200,
+    max_buffer=1200,
+)
+for sample in samples:
+    if classifier.is_online:
+        classifier.observe_online(sample.x, sample.y)
+    else:
+        classifier.observe_bootstrap(sample.x, sample.y)
+print(
+    f"trained on {len(samples)} samples "
+    f"({classifier.n_retrains} online retrains)"
+)
+
+# --- learned vs true admit surface --------------------------------------
+region = ExperientialCapacityRegion(classifier, n_levels=1)
+counts = list(range(0, MAX_COUNT + 1, STEP))
+stream_idx = APP_CLASSES.index(STREAMING)
+conf_idx = APP_CLASSES.index(CONFERENCING)
+
+learned = np.zeros((len(counts), len(counts)))
+truth = np.zeros_like(learned)
+for i, n_stream in enumerate(counts):
+    for j, n_conf in enumerate(counts):
+        base = [0, 0, 0]
+        base[0] = WEB_HELD
+        base[stream_idx] = n_stream
+        base[conf_idx] = n_conf
+        matrix = TrafficMatrix.from_class_counts(base)
+        learned[i, j] = 1.0 if region.admits(matrix, stream_idx) else 0.0
+        truth_samples = build_simulation_dataset(
+            cell,
+            [tuple(b + (1 if k == stream_idx else 0) for k, b in enumerate(base))],
+            np.random.default_rng(1),
+            estimator,
+            qos_noise=0.0,
+        )
+        truth[i, j] = 1.0 if truth_samples and truth_samples[0].y == 1 else 0.0
+
+print(f"\nLearned ExCR slice (web={WEB_HELD}; '#'=admit another streaming flow)")
+print(heatmap(learned, x_label="#conferencing", y_label="#streaming", vmin=0, vmax=1))
+print(f"\nGround truth (same slice)")
+print(heatmap(truth, x_label="#conferencing", y_label="#streaming", vmin=0, vmax=1))
+
+agreement = float(np.mean(learned == truth))
+print(f"\nlearned/true agreement over the slice: {agreement:.2f}")
+for idx, name in enumerate(APP_CLASSES):
+    print(
+        f"single-class boundary ({name:>13}): "
+        f"{region.boundary_profile(app_class_index=idx, max_count=60)} flows"
+    )

@@ -1,0 +1,110 @@
+"""A day of enterprise WiFi under ExBox management.
+
+Replays a synthetic LiveLab-style usage day (the workload class the
+paper mines from the Rice LiveLab dataset) against the emulated WiFi
+testbed, with ExBox making every admission decision, re-polling the
+network as users move between high- and low-SNR positions, and logging
+what its policy did with rejected/revoked flows.
+
+Run:  python examples/enterprise_wifi_day.py
+"""
+
+import numpy as np
+
+from repro import ExBox, FlowRequest, WiFiTestbed
+from repro.core.policies import AdmittancePolicy, PolicyAction
+from repro.traffic.flows import APP_CLASSES
+from repro.traffic.livelab import LiveLabSynthesizer
+from repro.wireless.channel import SnrBinner
+
+rng = np.random.default_rng(7)
+
+HIGH_SNR, LOW_SNR = 53.0, 23.0
+
+testbed = WiFiTestbed(binner=SnrBinner.two_level())
+policy = AdmittancePolicy(
+    on_reject=PolicyAction.LOW_PRIORITY,  # 802.11e background AC
+    on_revoke=PolicyAction.OFFLOAD,
+    offload_target="lte-small-cell",
+)
+exbox = ExBox.with_defaults(
+    batch_size=20, n_snr_levels=2,
+    min_bootstrap_samples=60, max_bootstrap_samples=120, cv_threshold=0.85,
+)
+exbox.policy = policy
+exbox.revalidator.policy = policy
+exbox.train_qoe_estimator(rng=rng, runs_per_point=4)
+
+# One synthetic day of app sessions for a 34-user office.
+synthesizer = LiveLabSynthesizer(
+    n_users=34, days=1.0, sessions_per_user_day=110.0, duration_scale=3.0
+)
+sessions = synthesizer.generate_sessions(rng)
+print(f"generated {len(sessions)} app sessions over one day")
+
+stats = {"admitted": 0, "rejected": 0, "revoked": 0, "bootstrap": 0}
+active = {}  # session id -> Flow
+
+events = []
+for sid, session in enumerate(sessions):
+    events.append((session.start_s, "start", sid, session))
+    events.append((session.end_s, "end", sid, session))
+events.sort(key=lambda e: e[0])
+
+def measure():
+    specs = [(f.app_class, f.snr_db) for f in exbox.active_flows]
+    return testbed.run_flows(specs[: testbed.max_clients], rng=rng)
+
+next_poll_s = 0.0
+for t, kind, sid, session in events:
+    if kind == "end":
+        flow = active.pop(sid, None)
+        if flow is not None and any(f.flow_id == flow.flow_id for f in exbox.active_flows):
+            exbox.handle_departure(flow)
+        continue
+
+    if len(exbox.active_flows) >= testbed.max_clients:
+        continue  # no free phone in the testbed
+
+    snr = HIGH_SNR if rng.random() < 0.7 else LOW_SNR
+    request = FlowRequest(client_id=session.user_id, app_class=session.app_class, snr_db=snr)
+    decision = exbox.handle_arrival(request)
+    if decision.phase.value == "bootstrap":
+        stats["bootstrap"] += 1
+    if decision.admitted:
+        stats["admitted"] += 1
+        active[sid] = decision.flow
+        exbox.report_outcome(decision, measure())
+    else:
+        stats["rejected"] += 1
+
+    # Periodic re-evaluation (Section 4.3): users wander, links change.
+    if t >= next_poll_s and exbox.admittance.is_online:
+        next_poll_s = t + 1800.0  # every simulated 30 minutes
+        for flow in exbox.active_flows:
+            if rng.random() < 0.1:  # 10% of users moved since last poll
+                exbox.update_flow_snr(
+                    flow, LOW_SNR if flow.snr_db == HIGH_SNR else HIGH_SNR
+                )
+        result = exbox.poll_network()
+        stats["revoked"] += len(result.revoked)
+        for sid_done in [s for s, f in active.items() if f in result.revoked]:
+            del active[sid_done]
+
+print(
+    f"\nbootstrap observations : {stats['bootstrap']}"
+    f"\nonline admitted        : {stats['admitted'] - stats['bootstrap']}"
+    f"\nonline rejected        : {stats['rejected']}"
+    f"\nrevoked by polling     : {stats['revoked']}"
+)
+
+by_action = {}
+for outcome in policy.log:
+    by_action[outcome.action.value] = by_action.get(outcome.action.value, 0) + 1
+print(f"policy dispositions    : {by_action}")
+
+print("\nlearned single-class capacity (flows admissible from empty, high SNR):")
+region = exbox.excr
+for idx, app_class in enumerate(APP_CLASSES):
+    boundary = region.boundary_profile(app_class_index=idx, snr_level=1, max_count=12)
+    print(f"  {app_class:>13}: {boundary}")

@@ -1,0 +1,80 @@
+"""Quickstart: stand up ExBox in front of an emulated WiFi cell.
+
+Walks the full paper pipeline in ~40 lines of API use:
+
+1. fit per-application IQX models from the training device (Fig. 5),
+2. let ExBox bootstrap by observing admitted flows (Fig. 4, left),
+3. once online, ask it for admission decisions on new arrivals.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ExBox, FlowRequest, WiFiTestbed
+from repro.traffic.flows import APP_CLASSES
+
+rng = np.random.default_rng(2016)
+
+# The network under management: the paper's 10-phone laptop-AP testbed.
+testbed = WiFiTestbed()
+
+# The middlebox. batch_size is the paper's online retrain period B.
+exbox = ExBox.with_defaults(
+    batch_size=20, min_bootstrap_samples=60, max_bootstrap_samples=120,
+    cv_threshold=0.85,
+)
+
+# Step 1 — QoE Estimator training: the admin's instrumented phone sweeps
+# rate x latency profiles and ExBox fits one IQX curve per app class.
+exbox.train_qoe_estimator(rng=rng, runs_per_point=4)
+for app_class in APP_CLASSES:
+    model = exbox.qoe_estimator.model_for(app_class)
+    print(
+        f"IQX[{app_class:>13}]  alpha={model.alpha:8.2f}  beta={model.beta:8.2f}  "
+        f"gamma={model.gamma:6.2f}  rmse={model.rmse:.2f}"
+    )
+
+# Step 2 — bootstrap: flows come and go, everything is admitted, ExBox
+# observes the network-wide QoE outcome of each arrival.
+client = 0
+while not exbox.admittance.is_online:
+    client += 1
+    app_class = APP_CLASSES[int(rng.integers(len(APP_CLASSES)))]
+    decision = exbox.handle_arrival(FlowRequest(client_id=client, app_class=app_class))
+    specs = [(f.app_class, f.snr_db) for f in exbox.active_flows]
+    run = testbed.run_flows(specs[: testbed.max_clients], rng=rng)
+    exbox.report_outcome(decision, run)
+    while len(exbox.active_flows) > 5:  # keep within the 10-client cell
+        exbox.handle_departure(exbox.active_flows[0])
+
+print(
+    f"\nbootstrap done after {exbox.admittance.bootstrap_samples_used} samples "
+    f"(cross-validation accuracy {exbox.admittance.last_cv_accuracy:.2f})\n"
+)
+
+# Step 3 — online admission control. Admitted flows run for a while and
+# depart; ExBox keeps learning from the measured outcomes.
+for flow in list(exbox.active_flows):
+    exbox.handle_departure(flow)
+admitted = rejected = 0
+for i in range(30):
+    app_class = APP_CLASSES[i % len(APP_CLASSES)]
+    decision = exbox.handle_arrival(FlowRequest(client_id=1000 + i, app_class=app_class))
+    state = "ADMIT " if decision.admitted else "reject"
+    print(
+        f"arrival {i:2d}  {app_class:>13}  -> {state}  "
+        f"margin={decision.margin:+.2f}  active={exbox.current_matrix.counts}"
+    )
+    if decision.admitted:
+        admitted += 1
+        specs = [(f.app_class, f.snr_db) for f in exbox.active_flows]
+        run = testbed.run_flows(specs[: testbed.max_clients], rng=rng)
+        exbox.report_outcome(decision, run)
+    else:
+        rejected += 1
+    if rng.random() < 0.4 and exbox.active_flows:  # departures free capacity
+        exbox.handle_departure(exbox.active_flows[0])
+
+print(f"\nadmitted {admitted}, rejected {rejected}")
+print(f"policy log entries: {len(exbox.policy.log)}")

@@ -1,0 +1,22 @@
+"""Application QoE behaviour models.
+
+The paper measures ground-truth QoE with instrumented Android apps: page
+load time (web), video startup delay (YouTube streaming) and received
+PSNR (Hangouts conferencing). These modules model how each metric arises
+from per-flow network QoS, replacing the physical phones: given a
+:class:`~repro.wireless.qos.FlowQoS` they return the same QoE number the
+instrumented app would log.
+"""
+
+from repro.apps.conferencing import ConferencingApp
+from repro.apps.streaming import StreamingApp
+from repro.apps.web import WebApp
+from repro.apps.base import AppModel, app_model_for_class
+
+__all__ = [
+    "AppModel",
+    "ConferencingApp",
+    "StreamingApp",
+    "WebApp",
+    "app_model_for_class",
+]

@@ -1,0 +1,67 @@
+"""Video-conferencing QoE model: received-video PSNR.
+
+Models the paper's Google Hangouts benchmark: a pre-recorded video is
+played through a virtual camera on the remote peer, the received video is
+screen-recorded on the phone, and PSNR (dB) between sent and received
+frames is the QoE metric.
+
+PSNR degrades through two mechanisms: (i) the codec lowering its encode
+bitrate when the path cannot sustain the target (rate-distortion:
+quality falls roughly logarithmically with bitrate) and (ii) packet loss
+corrupting frames, with each lost macroblock propagating until the next
+I-frame. Latency additionally forces the rate controller to back off
+(congestion-induced), so high delay also depresses PSNR — the paper
+classifies conferencing as delay-sensitive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.base import AppModel
+from repro.traffic.flows import CONFERENCING
+from repro.wireless.qos import FlowQoS
+
+__all__ = ["ConferencingApp"]
+
+
+class ConferencingApp(AppModel):
+    """PSNR model for a Hangouts/Skype-like one-way video call."""
+
+    app_class = CONFERENCING
+    qoe_metric_name = "psnr"
+    qoe_unit = "dB"
+    higher_is_better = True
+
+    def __init__(
+        self,
+        target_bitrate_bps: float = 1.5e6,
+        max_psnr_db: float = 37.0,
+        min_psnr_db: float = 10.0,
+        rate_distortion_db_per_halving: float = 6.0,
+        loss_penalty_db: float = 55.0,
+        delay_backoff_s: float = 0.08,
+    ) -> None:
+        if target_bitrate_bps <= 0:
+            raise ValueError("target bitrate must be positive")
+        if max_psnr_db <= min_psnr_db:
+            raise ValueError("max PSNR must exceed min PSNR")
+        self.target_bitrate_bps = target_bitrate_bps
+        self.max_psnr_db = max_psnr_db
+        self.min_psnr_db = min_psnr_db
+        self.rate_distortion_db_per_halving = rate_distortion_db_per_halving
+        self.loss_penalty_db = loss_penalty_db
+        self.delay_backoff_s = delay_backoff_s
+
+    def measure_qoe(self, qos: FlowQoS) -> float:
+        """Received-video PSNR in dB (higher is better)."""
+        if qos.throughput_bps <= 0:
+            return self.min_psnr_db
+        # Rate controller backs off under high delay (queue-building path).
+        delay_factor = 1.0 / (1.0 + max(0.0, qos.delay_s - 0.05) / self.delay_backoff_s)
+        achieved = min(qos.throughput_bps, self.target_bitrate_bps) * delay_factor
+        ratio = max(achieved / self.target_bitrate_bps, 1e-3)
+        rate_loss_db = -self.rate_distortion_db_per_halving * math.log2(ratio)
+        corruption_db = self.loss_penalty_db * qos.loss_rate
+        psnr = self.max_psnr_db - rate_loss_db - corruption_db
+        return max(min(psnr, self.max_psnr_db), self.min_psnr_db)

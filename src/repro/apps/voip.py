@@ -1,0 +1,90 @@
+"""VoIP QoE model: the ITU-T G.107 E-model.
+
+The paper motivates ExCR partly through prior QoE-based capacity work
+on VoIP in 802.11 (its reference [62], Shin & Schulzrinne). This module
+supplies the VoIP substrate for reproducing that style of experiment
+(`benchmarks/test_voip_capacity.py`): a simplified E-model mapping
+network QoS to the R-factor and MOS for a G.711-like call.
+
+R = R0 - Id(delay) - Ie,eff(loss), with the standard piecewise delay
+impairment (negligible below ~177 ms one-way, steep beyond) and the
+codec's loss impairment curve. MOS follows the ITU R→MOS polynomial.
+VoIP is not part of the paper's three evaluated classes, so this model
+lives alongside them without entering ``APP_CLASSES``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wireless.qos import FlowQoS
+
+__all__ = ["VoipApp", "mos_from_r_factor", "r_factor"]
+
+#: G.711 payload rate plus RTP/UDP/IP overhead at 50 pps.
+VOIP_DEMAND_BPS = 87.2e3
+#: The conventional "users satisfied" bar.
+MOS_THRESHOLD = 3.6
+
+
+def r_factor(
+    one_way_delay_s: float,
+    loss_rate: float,
+    r0: float = 93.2,
+    ie_base: float = 0.0,
+    bpl: float = 25.1,
+) -> float:
+    """Simplified E-model transmission rating.
+
+    ``ie_base`` is the codec's intrinsic impairment (0 for G.711) and
+    ``bpl`` its packet-loss robustness; the delay impairment follows the
+    common two-slope approximation of G.107's Id curve.
+    """
+    if one_way_delay_s < 0 or not 0.0 <= loss_rate <= 1.0:
+        raise ValueError("delay must be >= 0 and loss in [0, 1]")
+    delay_ms = one_way_delay_s * 1e3
+    id_impairment = 0.024 * delay_ms
+    if delay_ms > 177.3:
+        id_impairment += 0.11 * (delay_ms - 177.3)
+    loss_pct = loss_rate * 100.0
+    ie_eff = ie_base + (95.0 - ie_base) * loss_pct / (loss_pct + bpl)
+    return r0 - id_impairment - ie_eff
+
+
+def mos_from_r_factor(r: float) -> float:
+    """ITU-T G.107 R -> MOS mapping, clamped to [1, 4.5]."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    return 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6
+
+
+@dataclass(frozen=True)
+class VoipApp:
+    """MOS model for a G.711-like VoIP call.
+
+    ``higher_is_better`` and ``measure_qoe`` match the
+    :class:`~repro.apps.base.AppModel` protocol so the QoE machinery can
+    consume VoIP flows, without VoIP joining the paper's three evaluated
+    classes.
+    """
+
+    app_class: str = "voip"
+    qoe_metric_name: str = "mos"
+    qoe_unit: str = "MOS"
+    higher_is_better: bool = True
+    demand_bps: float = VOIP_DEMAND_BPS
+    jitter_buffer_s: float = 0.04
+
+    def measure_qoe(self, qos: FlowQoS) -> float:
+        """Call MOS from the flow's measured QoS.
+
+        One-way delay is half the path RTT plus the jitter buffer; a
+        starved flow (below the codec rate) converts its deficit into
+        effective loss on top of network loss.
+        """
+        starvation = max(0.0, 1.0 - qos.throughput_bps / self.demand_bps)
+        loss = 1.0 - (1.0 - qos.loss_rate) * (1.0 - starvation)
+        one_way = qos.delay_s / 2.0 + self.jitter_buffer_s
+        return mos_from_r_factor(r_factor(one_way, loss))

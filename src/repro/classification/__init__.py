@@ -1,0 +1,14 @@
+"""Early-packet traffic classification substrate.
+
+The paper assumes a flow's application class is known, citing the traffic
+classification literature ("analyze the first few packets of the flow").
+This package builds that assumed substrate: statistical features over the
+first packets of a flow and a Gaussian naive-Bayes classifier over them.
+It works on the synthetic traces from :mod:`repro.traffic.generators`,
+which mimics classifying encrypted traffic (only sizes/timing are used).
+"""
+
+from repro.classification.classifier import FlowClassifier
+from repro.classification.features import FLOW_FEATURE_NAMES, early_packet_features
+
+__all__ = ["FLOW_FEATURE_NAMES", "FlowClassifier", "early_packet_features"]

@@ -1,0 +1,115 @@
+"""Application-class classifier over early-packet features.
+
+Trained on labelled synthetic traces and used by the ExBox middlebox to
+assign an application class to each arriving flow before the admission
+decision (the flow is "admitted briefly" for its first packets, exactly
+as the paper describes in Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.classification.features import early_packet_features
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.naive_bayes import GaussianNaiveBayes
+from repro.ml.scaling import StandardScaler
+from repro.traffic.flows import APP_CLASSES
+from repro.traffic.generators import generator_for_class
+from repro.traffic.packets import Packet
+
+__all__ = ["FlowClassifier"]
+
+
+class FlowClassifier:
+    """Flow classifier on early-packet statistics.
+
+    ``backend`` selects the learner: ``"gnb"`` (Gaussian naive Bayes,
+    the default — fast, probabilistic) or ``"svm"`` (one-vs-rest over
+    the from-scratch SVC, margin-based).
+    """
+
+    def __init__(self, n_packets: int = 50, backend: str = "gnb") -> None:
+        if backend not in ("gnb", "svm"):
+            raise ValueError(f"backend must be 'gnb' or 'svm', got {backend!r}")
+        self.n_packets = int(n_packets)
+        self.backend = backend
+        self._scaler: Optional[StandardScaler] = None
+        self._model = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def fit(self, traces: Sequence[Sequence[Packet]], labels: Sequence[str]) -> "FlowClassifier":
+        """Train on labelled packet traces (one trace per flow)."""
+        if len(traces) != len(labels):
+            raise ValueError("traces and labels have mismatched lengths")
+        unknown = set(labels) - set(APP_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown app classes: {sorted(unknown)}")
+        X = np.vstack(
+            [early_packet_features(trace, self.n_packets) for trace in traces]
+        )
+        self._scaler = StandardScaler().fit(X)
+        model = (
+            GaussianNaiveBayes() if self.backend == "gnb" else OneVsRestClassifier()
+        )
+        self._model = model.fit(self._scaler.transform(X), np.asarray(labels))
+        return self
+
+    @classmethod
+    def train_synthetic(
+        cls,
+        rng: np.random.Generator,
+        flows_per_class: int = 30,
+        trace_duration_s: float = 20.0,
+        n_packets: int = 50,
+        backend: str = "gnb",
+    ) -> "FlowClassifier":
+        """Train on freshly generated synthetic traces of every class."""
+        traces: List[Sequence[Packet]] = []
+        labels: List[str] = []
+        for app_class in APP_CLASSES:
+            generator = generator_for_class(app_class)
+            for _ in range(flows_per_class):
+                trace = generator.generate(trace_duration_s, rng)
+                if len(trace) < 2:
+                    continue
+                traces.append(list(trace))
+                labels.append(app_class)
+        return cls(n_packets=n_packets, backend=backend).fit(traces, labels)
+
+    def classify(self, packets: Sequence[Packet]) -> str:
+        """Application class of a flow from its first packets."""
+        if self._model is None or self._scaler is None:
+            raise RuntimeError("classifier must be trained first")
+        x = early_packet_features(packets, self.n_packets)[None, :]
+        return str(self._model.predict(self._scaler.transform(x))[0])
+
+    def classify_proba(self, packets: Sequence[Packet]) -> Dict[str, float]:
+        """Per-class scores for a flow, normalized to sum to 1.
+
+        Calibrated posteriors for the GNB backend; a softmax over
+        one-vs-rest margins for the SVM backend.
+        """
+        if self._model is None or self._scaler is None:
+            raise RuntimeError("classifier must be trained first")
+        x = early_packet_features(packets, self.n_packets)[None, :]
+        z = self._scaler.transform(x)
+        if self.backend == "gnb":
+            probs = self._model.predict_proba(z)[0]
+        else:
+            scores = self._model.decision_matrix(z)[0]
+            scores = np.exp(scores - scores.max())
+            probs = scores / scores.sum()
+        return {str(c): float(p) for c, p in zip(self._model.classes_, probs)}
+
+    def accuracy(self, traces: Sequence[Sequence[Packet]], labels: Sequence[str]) -> float:
+        """Classification accuracy over labelled traces."""
+        correct = sum(
+            1 for trace, label in zip(traces, labels) if self.classify(trace) == label
+        )
+        return correct / len(labels) if labels else 0.0

@@ -1,0 +1,57 @@
+"""Early-packet statistical features for flow classification.
+
+Only packet sizes and inter-arrival times of the first ``n`` packets are
+used — no payload — matching classifiers that work on encrypted traffic
+(Bernaille et al., the paper's references [32, 33]).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.traffic.packets import Packet
+
+__all__ = ["FLOW_FEATURE_NAMES", "early_packet_features"]
+
+FLOW_FEATURE_NAMES = (
+    "mean_size",
+    "std_size",
+    "max_size",
+    "small_packet_fraction",
+    "mean_iat",
+    "std_iat",
+    "burstiness",
+    "early_rate_bps",
+)
+
+
+def early_packet_features(
+    packets: Sequence[Packet], n_packets: int = 50
+) -> np.ndarray:
+    """Feature vector over the first ``n_packets`` of a flow.
+
+    Flows shorter than 2 packets cannot be featurized.
+    """
+    pkts = sorted(packets, key=lambda p: p.timestamp)[:n_packets]
+    if len(pkts) < 2:
+        raise ValueError("need at least 2 packets to extract features")
+    sizes = np.array([p.size_bytes for p in pkts], dtype=float)
+    times = np.array([p.timestamp for p in pkts], dtype=float)
+    iats = np.diff(times)
+    iats = np.maximum(iats, 1e-6)
+    duration = max(times[-1] - times[0], 1e-6)
+    mean_iat = float(iats.mean())
+    return np.array(
+        [
+            float(sizes.mean()),
+            float(sizes.std()),
+            float(sizes.max()),
+            float(np.mean(sizes < 300)),
+            mean_iat,
+            float(iats.std()),
+            float(iats.std() / mean_iat),  # coefficient of variation
+            float(sizes.sum() * 8.0 / duration),
+        ]
+    )

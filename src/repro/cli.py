@@ -1,0 +1,140 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro fig7              # full-scale Figure 7
+    python -m repro fig13 --quick     # reduced-scale run for smoke tests
+    python -m repro all               # everything, in figure order
+    python -m repro list              # what is available
+
+Each command prints the same rows/series the corresponding benchmark
+asserts on (EXPERIMENTS.md records paper-vs-measured values).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import figures as F
+
+__all__ = ["main"]
+
+# name -> (description, full-scale runner, quick-scale runner)
+_COMMANDS: Dict[str, tuple] = {
+    "fig2": (
+        "QoE heatmaps vs (#conferencing, #streaming)",
+        lambda: F.fig2_heatmaps(),
+        lambda: F.fig2_heatmaps(max_flows=30, step=10),
+    ),
+    "fig3": (
+        "SNR impact on video streaming QoE",
+        lambda: F.fig3_snr_impact(),
+        lambda: F.fig3_snr_impact(),
+    ),
+    "fig7": (
+        "WiFi testbed comparison (Random + LiveLab)",
+        lambda: F.fig7_wifi_testbed(),
+        lambda: F.fig7_wifi_testbed(n_online=80, n_bootstrap=40, eval_every=40),
+    ),
+    "fig8": (
+        "LTE testbed comparison (Random + LiveLab)",
+        lambda: F.fig8_lte_testbed(),
+        lambda: F.fig8_lte_testbed(n_online=45, n_bootstrap=30, eval_every=15),
+    ),
+    "fig9": (
+        "Per-application accuracy",
+        lambda: F.fig9_per_app_accuracy(),
+        lambda: F.fig9_per_app_accuracy(n_online=80, n_bootstrap=40),
+    ),
+    "fig10": (
+        "Batch-size sensitivity",
+        lambda: F.fig10_batch_sensitivity(),
+        lambda: F.fig10_batch_sensitivity(
+            batch_sizes=(10, 20), n_online=80, n_bootstrap=40, eval_every=40
+        ),
+    ),
+    "fig11": (
+        "Adaptation to a throttled network",
+        lambda: F.fig11_adaptation(),
+        lambda: F.fig11_adaptation(n_online_wifi=90, n_online_lte=60, eval_every=30),
+    ),
+    "fig12": (
+        "IQX fits per application class",
+        lambda: F.fig12_iqx_fits(),
+        lambda: F.fig12_iqx_fits(runs_per_point=3),
+    ),
+    "fig13": (
+        "Mixed-SNR simulation",
+        lambda: F.fig13_mixed_snr(),
+        lambda: F.fig13_mixed_snr(n_samples=600, batch_sizes=(100,), eval_every=150),
+    ),
+    "fig14": (
+        "Populous-network simulation",
+        lambda: F.fig14_populous(),
+        lambda: F.fig14_populous(n_wifi_samples=250, n_lte_samples=150, eval_every=60),
+    ),
+    "latency": (
+        "Decision/training latency benchmarks",
+        lambda: F.latency_benchmarks(),
+        lambda: F.latency_benchmarks(n_decision_samples=30, training_sizes=(50, 200)),
+    ),
+    "report": (
+        "Full reproduction report (all experiments, one document)",
+        lambda: _report("full"),
+        lambda: _report("quick"),
+    ),
+}
+
+
+def _report(scale: str):
+    from repro.experiments.report import generate_report
+
+    return generate_report(scale=scale)
+
+
+def _run_one(name: str, quick: bool, out=sys.stdout) -> None:
+    description, full, fast = _COMMANDS[name]
+    runner: Callable = fast if quick else full
+    start = time.perf_counter()
+    result = runner()
+    elapsed = time.perf_counter() - start
+    print(f"== {name}: {description} ==", file=out)
+    print(result.render(), file=out)
+    print(f"[{name} completed in {elapsed:.1f}s]\n", file=out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the ExBox (CoNEXT 2016) evaluation figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_COMMANDS) + ["all", "list"],
+        help="figure to regenerate, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale run (seconds instead of minutes)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_COMMANDS):
+            print(f"{name:>8}  {_COMMANDS[name][0]}", file=out)
+        return 0
+    names = sorted(_COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        _run_one(name, quick=args.quick, out=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""The Admittance Classifier (paper Section 3.1, Figure 4).
+
+Two-phase online learning of the ExCR boundary:
+
+**Bootstrap phase** — ExBox only observes: every flow is admitted, each
+arrival contributes an ``(X_m, Y_m)`` tuple, and n-fold cross-validation
+runs periodically on the accumulated set. Once CV accuracy crosses the
+configured threshold the classifier trains on everything seen and goes
+online.
+
+**Online learning phase** — each arrival is classified (+1 admit /
+-1 reject); after every batch of ``B`` observed flows the SVM retrains
+over all tuples collected so far, with repeated traffic matrices taking
+the most recent label (the replacement rule that lets ExBox track a
+drifting network, Figure 11).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.ml.online import BatchOnlineSVM
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVC
+from repro.ml.validation import cross_val_accuracy
+
+__all__ = ["AdmittanceClassifier", "Phase"]
+
+
+class Phase(enum.Enum):
+    BOOTSTRAP = "bootstrap"
+    ONLINE = "online"
+
+
+class AdmittanceClassifier:
+    """Online SVM admission controller over encoded flow arrivals.
+
+    Parameters
+    ----------
+    batch_size:
+        Online-phase retrain period ``B`` (paper: 20 for WiFi, 10 for
+        LTE testbeds; 100-400 at simulation scale).
+    cv_threshold:
+        Cross-validation accuracy required to leave bootstrap.
+    cv_folds:
+        ``n`` of the paper's n-fold validation.
+    min_bootstrap_samples:
+        Don't even attempt CV below this (the paper observes ~50 samples
+        suffice).
+    max_bootstrap_samples:
+        Forced bootstrap exit: beyond this many samples the classifier
+        goes online regardless of CV (keeps pathological workloads from
+        observing forever). None disables.
+    model_factory:
+        Fresh-SVC factory, shared by CV and the online learner.
+    replace_repeated:
+        The paper's label-replacement rule for repeated matrices.
+    guard_margin:
+        Admission hysteresis: a flow is admitted only when its SVM
+        margin is at least this value. 0 reproduces the paper; positive
+        values trade recall for precision (a conservative operator),
+        negative values the reverse. The raw margin stays available via
+        :meth:`margin` for network selection.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 20,
+        cv_threshold: float = 0.7,
+        cv_folds: int = 5,
+        min_bootstrap_samples: int = 30,
+        max_bootstrap_samples: Optional[int] = 200,
+        model_factory: Optional[Callable[[], SVC]] = None,
+        replace_repeated: bool = True,
+        cv_check_every: int = 10,
+        random_state: int = 7,
+        max_buffer: Optional[int] = None,
+        guard_margin: float = 0.0,
+    ) -> None:
+        if not 0.0 < cv_threshold <= 1.0:
+            raise ValueError("cv_threshold must be in (0, 1]")
+        if min_bootstrap_samples < cv_folds:
+            raise ValueError("need at least cv_folds bootstrap samples")
+        self.cv_threshold = cv_threshold
+        self.cv_folds = int(cv_folds)
+        self.min_bootstrap_samples = int(min_bootstrap_samples)
+        self.max_bootstrap_samples = max_bootstrap_samples
+        self.cv_check_every = int(cv_check_every)
+        self.random_state = random_state
+        self._factory = model_factory or (
+            lambda: SVC(C=10.0, kernel="rbf", random_state=random_state)
+        )
+        self._learner = BatchOnlineSVM(
+            batch_size=batch_size,
+            model_factory=self._factory,
+            replace_repeated=replace_repeated,
+            max_buffer=max_buffer,
+        )
+        self.guard_margin = float(guard_margin)
+        self._phase = Phase.BOOTSTRAP
+        self._since_cv_check = 0
+        self.last_cv_accuracy: Optional[float] = None
+        self.bootstrap_samples_used: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    @property
+    def is_online(self) -> bool:
+        return self._phase is Phase.ONLINE
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._learner)
+
+    @property
+    def n_retrains(self) -> int:
+        return self._learner.n_retrains
+
+    # ------------------------------------------------------------------
+    # Bootstrap phase
+    # ------------------------------------------------------------------
+    def _both_classes_present(self) -> bool:
+        _, y = self._learner.training_set()
+        return y.size > 0 and len(np.unique(y)) == 2
+
+    def _cv_accuracy(self) -> float:
+        X, y = self._learner.training_set()
+        scaler = StandardScaler().fit(X)
+        return cross_val_accuracy(
+            self._factory,
+            scaler.transform(X),
+            y,
+            n_splits=self.cv_folds,
+            random_state=self.random_state,
+        )
+
+    def observe_bootstrap(self, x, y: int) -> bool:
+        """Record one observed arrival during bootstrap.
+
+        Returns True when this observation completed the bootstrap (the
+        classifier is now online).
+        """
+        if self._phase is not Phase.BOOTSTRAP:
+            raise RuntimeError("bootstrap is over; use observe_online")
+        self._learner.add_sample(x, y)
+        self._since_cv_check += 1
+
+        n = self.n_samples
+        forced = (
+            self.max_bootstrap_samples is not None
+            and n >= self.max_bootstrap_samples
+        )
+        due = (
+            n >= self.min_bootstrap_samples
+            and self._since_cv_check >= self.cv_check_every
+            and self._both_classes_present()
+        )
+        if not due and not forced:
+            return False
+        self._since_cv_check = 0
+        if self._both_classes_present():
+            self.last_cv_accuracy = self._cv_accuracy()
+            passed = self.last_cv_accuracy >= self.cv_threshold
+        else:
+            passed = False
+        if passed or forced:
+            self._go_online()
+            return True
+        return False
+
+    def _go_online(self) -> None:
+        self._learner.retrain()
+        self._phase = Phase.ONLINE
+        self.bootstrap_samples_used = self.n_samples
+
+    def force_online(self) -> None:
+        """Exit bootstrap immediately (used when pre-seeding with an
+        offline training set, as the simulation experiments do)."""
+        if self._phase is Phase.ONLINE:
+            return
+        if self.n_samples == 0:
+            raise RuntimeError("cannot go online with no samples")
+        self._go_online()
+
+    # ------------------------------------------------------------------
+    # Online phase
+    # ------------------------------------------------------------------
+    def classify(self, x) -> int:
+        """+1 (admissible) or -1 (inadmissible) for an encoded arrival.
+
+        With a non-zero ``guard_margin`` the decision is thresholded on
+        the SVM margin rather than its sign.
+        """
+        if self._phase is not Phase.ONLINE:
+            raise RuntimeError("classifier is still bootstrapping")
+        if self.guard_margin == 0.0:
+            return int(self._learner.predict_one(x))
+        return 1 if self._learner.margin_one(x) >= self.guard_margin else -1
+
+    def margin(self, x) -> float:
+        """SVM margin of an encoded arrival (network selection)."""
+        if self._phase is not Phase.ONLINE:
+            raise RuntimeError("classifier is still bootstrapping")
+        return self._learner.margin_one(x)
+
+    def observe_online(self, x, y: int) -> bool:
+        """Record the observed outcome of an arrival; retrains at batch
+        boundaries. Returns True when a retrain happened."""
+        if self._phase is not Phase.ONLINE:
+            raise RuntimeError("classifier is still bootstrapping")
+        return self._learner.observe(x, y)
+
+    # Convenience aliases matching the ExperientialCapacityRegion protocol.
+    def predict_one(self, x) -> float:
+        return float(self.classify(x))
+
+    def margin_one(self, x) -> float:
+        return self.margin(x)

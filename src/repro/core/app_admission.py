@@ -1,0 +1,115 @@
+"""App-based admission control (paper Section 4.5).
+
+Modern applications open several flows: YouTube fetches the video,
+recommendations and analytics over separate connections. Flow-based
+admission can then split an app (video admitted, control rejected), so
+the paper proposes an app-level heuristic: identify the app's *dominant*
+flows — the ones that determine its QoE — run the admission decision on
+those, and let every companion flow follow the dominant verdict.
+
+:class:`AppAdmissionController` wraps an :class:`~repro.core.exbox.ExBox`
+instance with that heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exbox import AdmissionDecision, ExBox
+from repro.traffic.flows import FlowRequest
+from repro.traffic.packets import Packet
+
+__all__ = ["AppAdmissionController", "AppFlowSpec", "AppVerdict"]
+
+
+@dataclass(frozen=True)
+class AppFlowSpec:
+    """One flow of a multi-flow application.
+
+    ``dominant`` marks flows that carry the app's QoE (video/media and
+    their control channel); companions (analytics, ads, prefetch) are
+    admitted or rejected with the dominant verdict and never counted in
+    the traffic matrix.
+    """
+
+    request: FlowRequest
+    dominant: bool = True
+    packets: Optional[Sequence[Packet]] = None
+
+
+@dataclass
+class AppVerdict:
+    """Outcome of one app-level admission."""
+
+    app_id: int
+    admitted: bool
+    dominant_decisions: Tuple[AdmissionDecision, ...]
+    companion_count: int
+    rolled_back: bool = False
+
+
+class AppAdmissionController:
+    """Admit or reject whole applications through their dominant flows.
+
+    The rule (paper Section 4.5): admit all of an app's flows iff every
+    one of its dominant flows is admitted. If a later dominant flow of
+    the same app is rejected, the earlier ones are rolled back — an app
+    is never left half-admitted.
+    """
+
+    def __init__(self, exbox: ExBox) -> None:
+        self.exbox = exbox
+        self._app_ids = iter(range(1, 1 << 62))
+        self._admitted_apps: Dict[int, List[AdmissionDecision]] = {}
+
+    def handle_app_arrival(self, flows: Sequence[AppFlowSpec]) -> AppVerdict:
+        """Decide on one application consisting of ``flows``.
+
+        Returns the verdict; on admission the app's dominant flows are
+        active in the underlying ExBox and tracked for later departure.
+        """
+        if not flows:
+            raise ValueError("an application needs at least one flow")
+        dominant = [spec for spec in flows if spec.dominant]
+        if not dominant:
+            raise ValueError("an application needs at least one dominant flow")
+        companions = len(flows) - len(dominant)
+        app_id = next(self._app_ids)
+
+        decisions: List[AdmissionDecision] = []
+        for spec in dominant:
+            decision = self.exbox.handle_arrival(spec.request, packets=spec.packets)
+            decisions.append(decision)
+            if not decision.admitted:
+                # Roll back the already-admitted dominant flows.
+                for earlier in decisions[:-1]:
+                    if earlier.flow is not None:
+                        self.exbox.handle_departure(earlier.flow)
+                return AppVerdict(
+                    app_id=app_id,
+                    admitted=False,
+                    dominant_decisions=tuple(decisions),
+                    companion_count=companions,
+                    rolled_back=len(decisions) > 1,
+                )
+        self._admitted_apps[app_id] = decisions
+        return AppVerdict(
+            app_id=app_id,
+            admitted=True,
+            dominant_decisions=tuple(decisions),
+            companion_count=companions,
+        )
+
+    def handle_app_departure(self, app_id: int) -> None:
+        """The application finished; release its dominant flows."""
+        decisions = self._admitted_apps.pop(app_id, None)
+        if decisions is None:
+            raise KeyError(f"app {app_id} is not admitted")
+        for decision in decisions:
+            if decision.flow is not None:
+                self.exbox.handle_departure(decision.flow)
+
+    @property
+    def active_apps(self) -> Tuple[int, ...]:
+        return tuple(self._admitted_apps)

@@ -1,0 +1,76 @@
+"""Admittance policies (paper Section 4.2).
+
+ExBox only *decides*; what happens to a flow it rejects (or revokes, see
+:mod:`repro.core.dynamics`) is the network administrator's policy: drop
+it at the gateway, demote it to a low-priority access category (802.11e
+style), or offload it to another network. The policy also notifies the
+user, as Smart-TV style applications already do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.traffic.flows import Flow
+
+__all__ = ["AdmittancePolicy", "PolicyAction", "PolicyOutcome"]
+
+
+class PolicyAction(enum.Enum):
+    """Disposition of a rejected/revoked flow."""
+
+    DROP = "drop"
+    LOW_PRIORITY = "low_priority"
+    OFFLOAD = "offload"
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Record of one policy application, for audit/inspection."""
+
+    flow: Flow
+    action: PolicyAction
+    target_network: Optional[str]
+    user_notified: bool
+
+
+@dataclass
+class AdmittancePolicy:
+    """Configured dispositions for rejected and revoked flows.
+
+    ``offload_target`` names the alternate network used when the action
+    is OFFLOAD; required in that case.
+    """
+
+    on_reject: PolicyAction = PolicyAction.DROP
+    on_revoke: PolicyAction = PolicyAction.DROP
+    offload_target: Optional[str] = None
+    notify_user: bool = True
+    log: List[PolicyOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        needs_target = PolicyAction.OFFLOAD in (self.on_reject, self.on_revoke)
+        if needs_target and not self.offload_target:
+            raise ValueError("OFFLOAD policy requires an offload_target")
+
+    def _apply(self, flow: Flow, action: PolicyAction) -> PolicyOutcome:
+        outcome = PolicyOutcome(
+            flow=flow,
+            action=action,
+            target_network=(
+                self.offload_target if action is PolicyAction.OFFLOAD else None
+            ),
+            user_notified=self.notify_user,
+        )
+        self.log.append(outcome)
+        return outcome
+
+    def reject(self, flow: Flow) -> PolicyOutcome:
+        """Dispose of a flow denied at admission."""
+        return self._apply(flow, self.on_reject)
+
+    def revoke(self, flow: Flow) -> PolicyOutcome:
+        """Dispose of an admitted flow later found inadmissible."""
+        return self._apply(flow, self.on_revoke)

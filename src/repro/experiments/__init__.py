@@ -1,0 +1,31 @@
+"""Evaluation harness: datasets, online evaluation, per-figure drivers.
+
+Each figure of the paper has a driver in :mod:`repro.experiments.figures`
+that regenerates its rows/series; the benchmarks under ``benchmarks/``
+call these drivers and print the results.
+"""
+
+from repro.experiments.datasets import (
+    LabeledSample,
+    build_testbed_dataset,
+    build_simulation_dataset,
+)
+from repro.experiments.harness import (
+    EvaluationSeries,
+    ExBoxScheme,
+    evaluate_scheme,
+    run_comparison,
+)
+from repro.experiments.latency import measure_decision_latency, measure_training_latency
+
+__all__ = [
+    "EvaluationSeries",
+    "ExBoxScheme",
+    "LabeledSample",
+    "build_simulation_dataset",
+    "build_testbed_dataset",
+    "evaluate_scheme",
+    "measure_decision_latency",
+    "measure_training_latency",
+    "run_comparison",
+]

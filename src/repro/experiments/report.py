@@ -1,0 +1,97 @@
+"""One-shot reproduction report.
+
+Drives every figure of the paper's evaluation and assembles a single
+text report (the CLI's ``report`` command writes it to stdout or a
+file). ``scale='quick'`` keeps the whole run to tens of seconds for CI;
+``scale='full'`` runs the benchmark-default parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import figures as F
+
+__all__ = ["ReproductionReport", "generate_report"]
+
+_BANNER = (
+    "ExBox (CoNEXT 2016) reproduction report\n"
+    "=======================================\n"
+    "Shapes, not absolute numbers, are the reproduction target; see\n"
+    "EXPERIMENTS.md for the paper-vs-measured discussion per figure.\n"
+)
+
+
+def _sections(scale: str) -> List[Tuple[str, Callable]]:
+    if scale == "quick":
+        return [
+            ("Figure 2", lambda: F.fig2_heatmaps(max_flows=30, step=10)),
+            ("Figure 3", F.fig3_snr_impact),
+            ("Figure 7", lambda: F.fig7_wifi_testbed(
+                n_online=120, n_bootstrap=40, eval_every=40)),
+            ("Figure 8", lambda: F.fig8_lte_testbed(
+                n_online=60, n_bootstrap=30, eval_every=20)),
+            ("Figure 9", lambda: F.fig9_per_app_accuracy(
+                n_online=120, n_bootstrap=40)),
+            ("Figure 10", lambda: F.fig10_batch_sensitivity(
+                batch_sizes=(10, 20), n_online=120, n_bootstrap=40, eval_every=40)),
+            ("Figure 11", lambda: F.fig11_adaptation(
+                n_online_wifi=90, n_online_lte=60, eval_every=30)),
+            ("Figure 12", lambda: F.fig12_iqx_fits(runs_per_point=3)),
+            ("Figure 13", lambda: F.fig13_mixed_snr(
+                n_samples=600, batch_sizes=(100,), eval_every=150)),
+            ("Figure 14", lambda: F.fig14_populous(
+                n_wifi_samples=250, n_lte_samples=150, eval_every=60)),
+            ("Latency", lambda: F.latency_benchmarks(
+                n_decision_samples=30, training_sizes=(50, 200))),
+        ]
+    if scale == "full":
+        return [
+            ("Figure 2", F.fig2_heatmaps),
+            ("Figure 3", F.fig3_snr_impact),
+            ("Figure 7", F.fig7_wifi_testbed),
+            ("Figure 8", F.fig8_lte_testbed),
+            ("Figure 9", F.fig9_per_app_accuracy),
+            ("Figure 10", F.fig10_batch_sensitivity),
+            ("Figure 11", F.fig11_adaptation),
+            ("Figure 12", F.fig12_iqx_fits),
+            ("Figure 13", F.fig13_mixed_snr),
+            ("Figure 14", F.fig14_populous),
+            ("Latency", F.latency_benchmarks),
+        ]
+    raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+
+
+@dataclass
+class ReproductionReport:
+    """The assembled report plus per-section timing."""
+
+    scale: str
+    sections: Dict[str, str]
+    seconds: Dict[str, float]
+
+    def render(self) -> str:
+        parts = [_BANNER, f"(scale: {self.scale})\n"]
+        for name, body in self.sections.items():
+            parts.append("-" * 72)
+            parts.append(f"{name}  [{self.seconds[name]:.1f}s]")
+            parts.append("-" * 72)
+            parts.append(body)
+            parts.append("")
+        total = sum(self.seconds.values())
+        parts.append(f"Total: {len(self.sections)} experiments in {total:.1f}s")
+        return "\n".join(parts)
+
+
+def generate_report(scale: str = "quick") -> ReproductionReport:
+    """Run every experiment at the requested scale."""
+    sections: Dict[str, str] = {}
+    seconds: Dict[str, float] = {}
+    for name, runner in _sections(scale):
+        start = time.perf_counter()
+        result = runner()
+        seconds[name] = time.perf_counter() - start
+        sections[name] = result.render()
+    return ReproductionReport(scale=scale, sections=sections, seconds=seconds)

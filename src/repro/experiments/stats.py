@@ -1,0 +1,96 @@
+"""Multi-seed statistics for experiment robustness.
+
+Single-seed numbers invite over-reading; this module reruns an
+experiment across seeds and summarizes each metric with mean, standard
+deviation and a normal-approximation confidence interval — the form the
+seed-robustness benchmark asserts on and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["MetricSummary", "summarize_seeds", "separated"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/std/CI of one metric over seeds."""
+
+    name: str
+    values: tuple
+    confidence: float = 0.95
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """t-distribution confidence half-width (0 for a single seed)."""
+        if self.n < 2:
+            return 0.0
+        t = scipy_stats.t.ppf(0.5 + self.confidence / 2.0, df=self.n - 1)
+        return float(t * self.std / np.sqrt(self.n))
+
+    @property
+    def ci(self) -> tuple:
+        h = self.ci_halfwidth
+        return (self.mean - h, self.mean + h)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.3f} +/- {self.ci_halfwidth:.3f} "
+            f"(n={self.n}, std={self.std:.3f})"
+        )
+
+
+def summarize_seeds(
+    experiment: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, MetricSummary]:
+    """Run ``experiment(seed) -> {metric: value}`` per seed and summarize.
+
+    Every seed must report the same metric names.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, list] = {}
+    expected = None
+    for seed in seeds:
+        metrics = experiment(int(seed))
+        if expected is None:
+            expected = set(metrics)
+            for name in metrics:
+                collected[name] = []
+        elif set(metrics) != expected:
+            raise ValueError(
+                f"seed {seed} reported metrics {sorted(metrics)} != {sorted(expected)}"
+            )
+        for name, value in metrics.items():
+            collected[name].append(float(value))
+    return {
+        name: MetricSummary(name=name, values=tuple(values), confidence=confidence)
+        for name, values in collected.items()
+    }
+
+
+def separated(a: MetricSummary, b: MetricSummary) -> bool:
+    """True when the two metrics' confidence intervals do not overlap
+    (a conservative 'a is really different from b' check)."""
+    lo_a, hi_a = a.ci
+    lo_b, hi_b = b.ci
+    return hi_a < lo_b or hi_b < lo_a

@@ -1,0 +1,99 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers format metric series, grouped bars and heatmaps as
+aligned text so results are readable in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["heatmap", "metric_table", "series_table", "bar_table"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def series_table(
+    x: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+    x_label: str = "samples",
+    precision: int = 3,
+) -> str:
+    """Aligned table: one row per x value, one column per series."""
+    names = list(columns)
+    widths = [max(len(x_label), 8)] + [max(len(n), 7) for n in names]
+    header = "  ".join(n.rjust(w) for n, w in zip([x_label] + names, widths))
+    lines = [header, "-" * len(header)]
+    for i, xv in enumerate(x):
+        cells = [f"{xv:g}".rjust(widths[0])]
+        for name, w in zip(names, widths[1:]):
+            val = columns[name][i]
+            cells.append(f"{val:.{precision}f}".rjust(w))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def metric_table(rows: Dict[str, Dict[str, float]], precision: int = 3) -> str:
+    """Table of {row label: {metric: value}}."""
+    metrics: List[str] = []
+    for values in rows.values():
+        for m in values:
+            if m not in metrics:
+                metrics.append(m)
+    name_w = max((len(n) for n in rows), default=6)
+    widths = [max(len(m), 7) for m in metrics]
+    header = "  ".join(["scheme".ljust(name_w)] + [m.rjust(w) for m, w in zip(metrics, widths)])
+    lines = [header, "-" * len(header)]
+    for name, values in rows.items():
+        cells = [name.ljust(name_w)]
+        for m, w in zip(metrics, widths):
+            v = values.get(m)
+            cells.append(("-".rjust(w)) if v is None else f"{v:.{precision}f}".rjust(w))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def bar_table(values: Dict[str, float], width: int = 40, precision: int = 2) -> str:
+    """Horizontal text bars scaled to the max value."""
+    if not values:
+        return "(empty)"
+    peak = max(abs(v) for v in values.values()) or 1.0
+    name_w = max(len(n) for n in values)
+    lines = []
+    for name, value in values.items():
+        n_chars = int(round(abs(value) / peak * width))
+        lines.append(
+            f"{name.ljust(name_w)}  {('#' * n_chars).ljust(width)}  {value:.{precision}f}"
+        )
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    x_label: str = "x",
+    y_label: str = "y",
+    vmin: float = None,
+    vmax: float = None,
+) -> str:
+    """Character-shade heatmap of a 2-D array (row 0 printed last, so the
+    origin sits bottom-left like the paper's axes)."""
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("heatmap needs a 2-D array")
+    lo = float(np.nanmin(grid)) if vmin is None else vmin
+    hi = float(np.nanmax(grid)) if vmax is None else vmax
+    span = hi - lo or 1.0
+    lines = [f"{y_label} (up) vs {x_label} (right); '{_SHADES[-1]}'=high '{_SHADES[0]}'=low"]
+    for row in grid[::-1]:
+        chars = []
+        for v in row:
+            if np.isnan(v):
+                chars.append("?")
+                continue
+            idx = int((min(max(v, lo), hi) - lo) / span * (len(_SHADES) - 1))
+            chars.append(_SHADES[idx])
+        lines.append("".join(chars))
+    return "\n".join(lines)

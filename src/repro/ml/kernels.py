@@ -1,0 +1,136 @@
+"""Kernel functions for the SVM implementation.
+
+A kernel is a callable ``k(X, Z) -> numpy.ndarray`` returning the Gram
+matrix between the rows of ``X`` (shape ``(n, d)``) and ``Z`` (shape
+``(m, d)``). Kernels are plain objects so they can be compared, repr'd in
+experiment logs and resolved from string names in configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearKernel", "PolynomialKernel", "RBFKernel", "resolve_kernel"]
+
+
+class LinearKernel:
+    """Inner-product kernel ``k(x, z) = x . z``."""
+
+    name = "linear"
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = np.atleast_2d(np.asarray(Z, dtype=float))
+        return X @ Z.T
+
+    def __repr__(self) -> str:
+        return "LinearKernel()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinearKernel)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class RBFKernel:
+    """Gaussian kernel ``k(x, z) = exp(-gamma * ||x - z||^2)``.
+
+    ``gamma`` may be a positive float or the string ``"scale"``, in which
+    case it is resolved per Gram-matrix call as ``1 / (d * var(X))``
+    (matching the common libsvm/sklearn convention).
+    """
+
+    name = "rbf"
+
+    def __init__(self, gamma: "float | str" = "scale") -> None:
+        if isinstance(gamma, str):
+            if gamma != "scale":
+                raise ValueError(f"unknown gamma spec: {gamma!r}")
+        elif gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.gamma = gamma
+
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        if isinstance(self.gamma, str):
+            var = float(X.var())
+            if var <= 0:
+                var = 1.0
+            return 1.0 / (X.shape[1] * var)
+        return float(self.gamma)
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = np.atleast_2d(np.asarray(Z, dtype=float))
+        gamma = self._resolve_gamma(X)
+        # ||x - z||^2 = ||x||^2 + ||z||^2 - 2 x.z, computed without loops.
+        sq = (
+            np.sum(X * X, axis=1)[:, None]
+            + np.sum(Z * Z, axis=1)[None, :]
+            - 2.0 * (X @ Z.T)
+        )
+        np.maximum(sq, 0.0, out=sq)
+        return np.exp(-gamma * sq)
+
+    def __repr__(self) -> str:
+        return f"RBFKernel(gamma={self.gamma!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RBFKernel) and other.gamma == self.gamma
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.gamma))
+
+
+class PolynomialKernel:
+    """Polynomial kernel ``k(x, z) = (x . z + coef0) ** degree``."""
+
+    name = "poly"
+
+    def __init__(self, degree: int = 3, coef0: float = 1.0) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = int(degree)
+        self.coef0 = float(coef0)
+
+    def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = np.atleast_2d(np.asarray(Z, dtype=float))
+        return (X @ Z.T + self.coef0) ** self.degree
+
+    def __repr__(self) -> str:
+        return f"PolynomialKernel(degree={self.degree}, coef0={self.coef0})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PolynomialKernel)
+            and other.degree == self.degree
+            and other.coef0 == self.coef0
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.degree, self.coef0))
+
+
+_KERNELS = {
+    "linear": LinearKernel,
+    "rbf": RBFKernel,
+    "poly": PolynomialKernel,
+}
+
+
+def resolve_kernel(spec, **kwargs):
+    """Return a kernel object from a name, callable or kernel instance.
+
+    >>> resolve_kernel("rbf", gamma=0.5)
+    RBFKernel(gamma=0.5)
+    """
+    if callable(spec):
+        return spec
+    try:
+        factory = _KERNELS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {spec!r}; expected one of {sorted(_KERNELS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,113 @@
+"""Classification metrics used throughout the ExBox evaluation.
+
+The paper evaluates admission control with three metrics (Section 5.3):
+
+- *precision* — correctly admitted flows / admitted flows,
+- *recall* — correctly admitted flows / flows that could have been admitted,
+- *accuracy* — fraction of correct decisions (admit or reject).
+
+Here "admit" is the positive (+1) class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+]
+
+
+def _as_labels(y) -> np.ndarray:
+    y = np.asarray(y, dtype=float).ravel()
+    bad = set(np.unique(y)) - {-1.0, 1.0}
+    if bad:
+        raise ValueError(f"labels must be in {{-1, +1}}, got extra {sorted(bad)}")
+    return y
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Return ``[[tn, fp], [fn, tp]]`` for ±1 labels."""
+    y_true = _as_labels(y_true)
+    y_pred = _as_labels(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred have mismatched lengths")
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == -1) & (y_pred == -1)))
+    fp = int(np.sum((y_true == -1) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == -1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of decisions (admit or reject) that were correct."""
+    y_true = _as_labels(y_true)
+    y_pred = _as_labels(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred have mismatched lengths")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, default: float = 1.0) -> float:
+    """Correctly admitted / admitted; ``default`` when nothing was admitted.
+
+    The paper's convention: an admission controller that admits nothing
+    makes no precision mistakes, hence the default of 1.0.
+    """
+    (_, fp), (_, tp) = confusion_matrix(y_true, y_pred)
+    if tp + fp == 0:
+        return default
+    return tp / (tp + fp)
+
+
+def recall_score(y_true, y_pred, default: float = 1.0) -> float:
+    """Correctly admitted / admissible; ``default`` when nothing was admissible."""
+    (_, _), (fn, tp) = confusion_matrix(y_true, y_pred)
+    if tp + fn == 0:
+        return default
+    return tp / (tp + fn)
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are 0)."""
+    p = precision_score(y_true, y_pred, default=0.0)
+    r = recall_score(y_true, y_pred, default=0.0)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of the three paper metrics over one evaluation window."""
+
+    precision: float
+    recall: float
+    accuracy: float
+    n_samples: int
+
+    @classmethod
+    def from_predictions(cls, y_true, y_pred) -> "ClassificationReport":
+        y_true = _as_labels(y_true)
+        return cls(
+            precision=precision_score(y_true, y_pred),
+            recall=recall_score(y_true, y_pred),
+            accuracy=accuracy_score(y_true, y_pred),
+            n_samples=int(y_true.size),
+        )
+
+    def as_row(self) -> str:
+        """One-line textual form used by the benchmark harness output."""
+        return (
+            f"n={self.n_samples:5d}  precision={self.precision:.3f}  "
+            f"recall={self.recall:.3f}  accuracy={self.accuracy:.3f}"
+        )

@@ -1,0 +1,68 @@
+"""One-vs-rest multi-class composition over binary classifiers.
+
+The flow classifier (:mod:`repro.classification`) defaults to Gaussian
+naive Bayes; this wrapper lets the same early-packet features drive the
+from-scratch SVM (or the CART tree) instead: one binary model per class,
+prediction by maximal decision value. Scores are margin-like, not
+calibrated probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.ml.svm import SVC
+
+__all__ = ["OneVsRestClassifier"]
+
+
+class OneVsRestClassifier:
+    """Multi-class classifier from per-class binary models.
+
+    ``model_factory`` must produce objects with ``fit(X, y)`` over
+    labels in {-1, +1} and ``decision_function(X)``.
+    """
+
+    def __init__(self, model_factory: Optional[Callable] = None) -> None:
+        self.model_factory = model_factory or (
+            lambda: SVC(C=10.0, kernel="rbf", random_state=3)
+        )
+        self._models: Dict[object, object] = {}
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X, y: Sequence) -> "OneVsRestClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have mismatched lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self.classes_ = np.unique(y)
+        if len(self.classes_) < 2:
+            raise ValueError("one-vs-rest needs at least two classes")
+        self._models = {}
+        for cls in self.classes_:
+            binary = np.where(y == cls, 1.0, -1.0)
+            model = self.model_factory()
+            model.fit(X, binary)
+            self._models[cls] = model
+        return self
+
+    def decision_matrix(self, X) -> np.ndarray:
+        """(n_samples, n_classes) matrix of per-class decision values."""
+        if self.classes_ is None:
+            raise RuntimeError("classifier must be fitted before inference")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.column_stack(
+            [self._models[cls].decision_function(X) for cls in self.classes_]
+        )
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_matrix(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,181 @@
+"""Batch-online SVM wrapper used by the Admittance Classifier.
+
+The paper (Section 3.1) retrains its SVM after every batch of ``B``
+admitted flows, over *all* ``(X_m, Y_m)`` tuples observed so far, with one
+twist: if a traffic matrix reappears, the stored label is *replaced* by
+the most recently observed one. That replacement rule is what lets ExBox
+track a drifting capacity region (Figure 11); it is implemented here as a
+keyed replay buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVC
+
+__all__ = ["BatchOnlineSVM"]
+
+
+class BatchOnlineSVM:
+    """Online binary classifier: keyed replay buffer + periodic retrain.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of newly observed samples between retrains (paper's ``B``).
+    model_factory:
+        Zero-argument callable returning a fresh :class:`~repro.ml.svm.SVC`
+        (or anything with the same ``fit``/``predict``/``decision_function``
+        interface). Defaults to an RBF SVC.
+    replace_repeated:
+        When True (the paper's rule), re-observing a feature vector
+        replaces its stored label; when False samples are append-only.
+        The append-only variant exists for the ablation benchmark.
+    scale:
+        Standardize features before each fit (recommended for RBF).
+    max_buffer:
+        Optional cap on stored samples; oldest are evicted first.
+    warm_start:
+        Seed each retrain's SMO with the previous solution's dual
+        variables (incremental SVM learning). Only effective when the
+        model factory produces an :class:`~repro.ml.svm.SVC`.
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 20,
+        model_factory: Optional[Callable[[], SVC]] = None,
+        replace_repeated: bool = True,
+        scale: bool = True,
+        max_buffer: Optional[int] = None,
+        warm_start: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_buffer is not None and max_buffer < 1:
+            raise ValueError("max_buffer must be >= 1 when given")
+        self.batch_size = int(batch_size)
+        self.model_factory = model_factory or (
+            lambda: SVC(C=10.0, kernel="rbf", random_state=7)
+        )
+        self.replace_repeated = replace_repeated
+        self.scale = scale
+        self.max_buffer = max_buffer
+        self.warm_start = warm_start
+        self._alpha_by_key: Dict[Tuple[float, ...], float] = {}
+
+        self._keys: List[Tuple[float, ...]] = []
+        self._X: List[np.ndarray] = []
+        self._y: List[float] = []
+        self._index: Dict[Tuple[float, ...], int] = {}
+        self._since_retrain = 0
+        self._model: Optional[SVC] = None
+        self._scaler: Optional[StandardScaler] = None
+        self.n_retrains = 0
+
+    # ------------------------------------------------------------------
+    # Buffer management
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._X)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def add_sample(self, x, y: float) -> None:
+        """Record one observed ``(X_m, Y_m)`` tuple without retraining."""
+        x = np.asarray(x, dtype=float).ravel()
+        if y not in (-1, 1, -1.0, 1.0):
+            raise ValueError(f"label must be +1 or -1, got {y!r}")
+        key = tuple(x.tolist())
+        if self.replace_repeated and key in self._index:
+            self._y[self._index[key]] = float(y)
+        else:
+            self._keys.append(key)
+            self._X.append(x)
+            self._y.append(float(y))
+            self._index[key] = len(self._X) - 1
+            self._evict_if_needed()
+        self._since_retrain += 1
+
+    def _evict_if_needed(self) -> None:
+        if self.max_buffer is None or len(self._X) <= self.max_buffer:
+            return
+        while len(self._X) > self.max_buffer:
+            self._keys.pop(0)
+            self._X.pop(0)
+            self._y.pop(0)
+        # Positions shifted; rebuild the key index once per eviction burst.
+        self._index = {k: i for i, k in enumerate(self._keys)}
+
+    def observe(self, x, y: float) -> bool:
+        """Record a sample and retrain when the batch boundary is hit.
+
+        Returns True when a retrain happened.
+        """
+        self.add_sample(x, y)
+        if self._since_retrain >= self.batch_size:
+            self.retrain()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Training / inference
+    # ------------------------------------------------------------------
+    def training_set(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current replay buffer as ``(X, y)`` arrays."""
+        if not self._X:
+            return np.zeros((0, 0)), np.zeros(0)
+        return np.vstack(self._X), np.asarray(self._y)
+
+    def retrain(self) -> None:
+        """Fit a fresh model on everything observed so far."""
+        if not self._X:
+            raise RuntimeError("no samples to train on")
+        X, y = self.training_set()
+        if self.scale:
+            self._scaler = StandardScaler().fit(X)
+            X = self._scaler.transform(X)
+        model = self.model_factory()
+        alpha_init = None
+        if self.warm_start and self._alpha_by_key and isinstance(model, SVC):
+            alpha_init = [self._alpha_by_key.get(key, 0.0) for key in self._keys]
+        if alpha_init is not None:
+            model.fit(X, y, alpha_init=alpha_init)
+        else:
+            model.fit(X, y)
+        if self.warm_start and isinstance(model, SVC) and not model.is_constant_:
+            self._alpha_by_key = dict(zip(self._keys, model.alpha_all_.tolist()))
+        self._model = model
+        self._since_retrain = 0
+        self.n_retrains += 1
+
+    def _prepare(self, X) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        return X
+
+    def predict(self, X) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("model has not been trained yet")
+        return self._model.predict(self._prepare(X))
+
+    def predict_one(self, x) -> float:
+        return float(self.predict(np.atleast_2d(np.asarray(x, dtype=float)))[0])
+
+    def decision_function(self, X) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("model has not been trained yet")
+        return self._model.decision_function(self._prepare(X))
+
+    def margin_one(self, x) -> float:
+        """SVM margin for one point (used for network selection)."""
+        return float(
+            self.decision_function(np.atleast_2d(np.asarray(x, dtype=float)))[0]
+        )

@@ -1,0 +1,93 @@
+"""Feature scaling for SVM inputs.
+
+RBF-kernel SVMs are scale-sensitive, so ExBox standardizes the traffic
+matrix features before training. Both scalers follow the familiar
+fit/transform protocol and are safe on constant features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant columns are left centered but not divided (divisor 1), so the
+    transform never produces NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into ``[lo, hi]`` (default ``[0, 1]``).
+
+    Constant columns map to ``lo``.
+    """
+
+    def __init__(self, feature_range=(0.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError("feature_range must satisfy lo < hi")
+        self.feature_range = (float(lo), float(hi))
+        self.min_ = None
+        self.range_ = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        lo, hi = self.feature_range
+        unit = (X - self.min_) / self.range_
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        lo, hi = self.feature_range
+        unit = (X - lo) / (hi - lo)
+        return unit * self.range_ + self.min_

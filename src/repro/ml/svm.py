@@ -1,0 +1,312 @@
+"""Binary C-SVM trained with Sequential Minimal Optimization (SMO).
+
+This is the learning core behind ExBox's Admittance Classifier. The paper
+uses an off-the-shelf SVM (libsvm-style); this module provides an
+equivalent trained from scratch on numpy, sized for the paper's regime of
+tens to a few thousand training samples.
+
+The dual soft-margin problem solved is::
+
+    max  sum_i a_i - 1/2 sum_ij a_i a_j y_i y_j k(x_i, x_j)
+    s.t. 0 <= a_i <= C,  sum_i a_i y_i = 0
+
+using SMO (Platt 1998) with a full cached Gram matrix, an incrementally
+maintained error cache, and the second-choice heuristic of maximizing
+``|E_i - E_j|``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.kernels import resolve_kernel
+
+__all__ = ["SVC", "NotFittedError"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/decision_function is called before fit."""
+
+
+class SVC:
+    """Support-vector classifier for labels in {-1, +1}.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty; larger values fit the training data harder.
+    kernel:
+        ``"linear"``, ``"rbf"``, ``"poly"``, a kernel object from
+        :mod:`repro.ml.kernels`, or any callable ``k(X, Z) -> Gram``.
+    gamma:
+        RBF bandwidth (only used when ``kernel == "rbf"``).
+    tol:
+        Duality-gap tolerance for the working-set stopping rule.
+    max_iter:
+        Hard cap on pair optimizations (safety valve).
+    random_state:
+        Seed kept for interface stability; the maximal-violating-pair
+        selection itself is deterministic.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel="rbf",
+        gamma="scale",
+        tol: float = 1e-3,
+        max_iter: int = 100000,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = float(C)
+        if kernel == "rbf":
+            self.kernel = resolve_kernel("rbf", gamma=gamma)
+        else:
+            self.kernel = resolve_kernel(kernel)
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.random_state = random_state
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, X, y, alpha_init=None) -> "SVC":
+        """Fit the classifier on ``X`` (n, d) and labels ``y`` in {-1, +1}.
+
+        Degenerate single-class training sets are accepted: the model then
+        becomes a constant predictor for the observed class. This happens
+        early in ExBox's bootstrap phase, before the network has been
+        driven past its capacity region for the first time.
+
+        ``alpha_init`` warm-starts SMO from a previous solution's dual
+        variables (incremental SVM learning, as in the online-SVM
+        literature the paper cites). Out-of-bound values are clipped and
+        the equality constraint ``sum alpha_i y_i = 0`` is repaired, so
+        any stale vector is a legal starting point.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have mismatched lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        labels = set(np.unique(y))
+        if not labels <= {-1.0, 1.0}:
+            raise ValueError(f"labels must be in {{-1, +1}}, got {sorted(labels)}")
+
+        self._n_features = X.shape[1]
+        if len(labels) == 1:
+            # Constant predictor: no separating boundary exists yet.
+            self._constant = float(y[0])
+            self._alpha = np.zeros(0)
+            self._sv_X = np.zeros((0, X.shape[1]))
+            self._sv_y = np.zeros(0)
+            self._alpha_all_ = np.zeros(X.shape[0])
+            self._b = 0.0
+            self._fitted = True
+            return self
+
+        self._constant = None
+        alpha0 = self._sanitize_alpha_init(alpha_init, y)
+        self._smo(X, y, alpha0)
+        self._fitted = True
+        return self
+
+    def _sanitize_alpha_init(self, alpha_init, y: np.ndarray):
+        """Clip a warm-start vector into the feasible region."""
+        if alpha_init is None:
+            return None
+        alpha = np.clip(np.asarray(alpha_init, dtype=float).ravel(), 0.0, self.C)
+        if alpha.shape[0] != y.shape[0]:
+            raise ValueError("alpha_init length does not match the training set")
+        # Repair the equality constraint by shrinking the heavy side.
+        imbalance = float(alpha @ y)
+        if abs(imbalance) > 1e-12:
+            side = y == np.sign(imbalance)
+            mass = float(alpha[side].sum())
+            if mass <= abs(imbalance):
+                return None  # cannot repair; cold-start instead
+            alpha[side] *= (mass - abs(imbalance)) / mass
+        return alpha
+
+    def _smo(self, X: np.ndarray, y: np.ndarray, alpha0=None) -> None:
+        """SMO with maximal-violating-pair working-set selection.
+
+        Each iteration picks the pair that most violates the KKT
+        conditions (Keerthi et al. 2001, the libsvm default): with
+        ``F_i = f(x_i) - y_i``, the dual improves by raising
+        ``alpha_i y_i`` for ``i = argmin F`` over the "up" set and
+        lowering it for ``j = argmax F`` over the "low" set; optimality
+        is reached when that gap closes below the tolerance.
+        """
+        n = X.shape[0]
+        K = self.kernel(X, X)
+        if alpha0 is None:
+            alpha = np.zeros(n)
+            # errors[i] = f_raw(x_i) - y_i with f_raw excluding the bias;
+            # b cancels in every pairwise quantity SMO uses, so it is
+            # reconstructed once after convergence.
+            errors = -y.astype(float).copy()
+        else:
+            alpha = alpha0.copy()
+            errors = (alpha * y) @ K - y
+        eps = 1e-10
+
+        pos, neg = y > 0, y < 0
+        up = low = None
+        for _ in range(self.max_iter):
+            bound_lo, bound_hi = alpha > eps, alpha < self.C - eps
+            up = (pos & bound_hi) | (neg & bound_lo)
+            low = (pos & bound_lo) | (neg & bound_hi)
+            if not up.any() or not low.any():
+                break
+            f_up = np.where(up, errors, np.inf)
+            f_low = np.where(low, errors, -np.inf)
+            i = int(np.argmin(f_up))
+            j = int(np.argmax(f_low))
+            if errors[j] - errors[i] < 2.0 * self.tol:
+                break
+            if not self._step(i, j, alpha, errors, y, K):
+                # Numerically stuck pair (degenerate kernel rows): try
+                # the next-most-violating partners before giving up.
+                order = np.argsort(-f_low)
+                moved = False
+                for k in order[: min(10, n)]:
+                    k = int(k)
+                    if k != j and low[k] and self._step(i, k, alpha, errors, y, K):
+                        moved = True
+                        break
+                if not moved:
+                    break
+
+        self._b = self._bias_from_kkt(alpha, errors, y, eps)
+        sv = alpha > 1e-8
+        self._alpha = alpha[sv]
+        self._sv_X = X[sv]
+        self._sv_y = y[sv]
+        self._alpha_all_ = alpha
+        if not sv.any():
+            # Optimizer found no boundary; predict the majority class.
+            self._b = float(np.sign(y.sum()) or 1.0)
+
+    def _bias_from_kkt(self, alpha, errors, y, eps: float) -> float:
+        """Reconstruct b after SMO: free SVs satisfy y_i (f_raw + b) = 1,
+        i.e. b = -(f_raw_i - y_i) = -errors_i; without free SVs use the
+        Keerthi midpoint of the up/low sets."""
+        free = (alpha > eps) & (alpha < self.C - eps)
+        if free.any():
+            return float(-np.mean(errors[free]))
+        pos, neg = y > 0, y < 0
+        up = (pos & (alpha < self.C - eps)) | (neg & (alpha > eps))
+        low = (pos & (alpha > eps)) | (neg & (alpha < self.C - eps))
+        if up.any() and low.any():
+            return float(-0.5 * (errors[up].min() + errors[low].max()))
+        return 0.0
+
+    def _step(self, i, j, alpha, errors, y, K) -> bool:
+        """Optimize one multiplier pair; errors are bias-free f_raw - y."""
+        if i == j:
+            return False
+        ai_old, aj_old = alpha[i], alpha[j]
+        yi, yj = y[i], y[j]
+        Ei, Ej = errors[i], errors[j]
+        if yi != yj:
+            lo = max(0.0, aj_old - ai_old)
+            hi = min(self.C, self.C + aj_old - ai_old)
+        else:
+            lo = max(0.0, ai_old + aj_old - self.C)
+            hi = min(self.C, ai_old + aj_old)
+        if lo >= hi:
+            return False
+        eta = K[i, i] + K[j, j] - 2.0 * K[i, j]
+        if eta <= 1e-12:
+            return False
+        aj_new = aj_old + yj * (Ei - Ej) / eta
+        aj_new = min(max(aj_new, lo), hi)
+        if abs(aj_new - aj_old) < 1e-7 * (aj_new + aj_old + 1e-7):
+            return False
+        ai_new = ai_old + yi * yj * (aj_old - aj_new)
+
+        di = yi * (ai_new - ai_old)
+        dj = yj * (aj_new - aj_old)
+        alpha[i], alpha[j] = ai_new, aj_new
+        errors += di * K[i] + dj * K[j]
+        return True
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margin ``f(x)`` for each row of ``X``.
+
+        Positive values classify as +1. ExBox's network-selection logic
+        (Section 4.1 of the paper) uses this margin directly: the larger
+        it is, the deeper inside the capacity region the point lies. For
+        a constant (single-class) model the margin is ±1 everywhere.
+        """
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inference")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {X.shape[1]}"
+            )
+        if self._constant is not None:
+            return np.full(X.shape[0], self._constant)
+        if self._alpha.shape[0] == 0:
+            return np.full(X.shape[0], self._b)
+        K = self.kernel(self._sv_X, X)
+        return (self._alpha * self._sv_y) @ K + self._b
+
+    def predict(self, X) -> np.ndarray:
+        """Predict labels in {-1, +1} for each row of ``X``."""
+        return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        y = np.asarray(y, dtype=float).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def support_vectors_(self) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inspection")
+        return self._sv_X
+
+    @property
+    def n_support_(self) -> int:
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inspection")
+        return int(self._sv_X.shape[0])
+
+    @property
+    def intercept_(self) -> float:
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inspection")
+        return self._b if self._constant is None else self._constant
+
+    @property
+    def alpha_all_(self) -> np.ndarray:
+        """Dual variables for every training row (zeros for non-SVs);
+        the warm-start vector for the next incremental fit."""
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inspection")
+        return self._alpha_all_
+
+    @property
+    def is_constant_(self) -> bool:
+        """True when the model degenerated to a single-class predictor."""
+        if not self._fitted:
+            raise NotFittedError("SVC must be fitted before inspection")
+        return self._constant is not None
+
+    def __repr__(self) -> str:
+        return f"SVC(C={self.C}, kernel={self.kernel!r}, tol={self.tol})"

@@ -1,0 +1,98 @@
+"""Model validation utilities: k-fold cross-validation and splits.
+
+ExBox's bootstrap phase (Section 3.1) exits once n-fold cross-validation
+accuracy on the collected training set crosses a threshold; this module
+provides that machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KFold", "cross_val_accuracy", "train_test_split"]
+
+
+class KFold:
+    """Split ``n`` samples into ``n_splits`` random folds.
+
+    Yields ``(train_idx, test_idx)`` pairs. Folds differ in size by at
+    most one sample.
+    """
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            stop = start + size
+            test_idx = indices[start:stop]
+            train_idx = np.concatenate([indices[:start], indices[stop:]])
+            yield train_idx, test_idx
+            start = stop
+
+
+def cross_val_accuracy(
+    model_factory,
+    X,
+    y,
+    n_splits: int = 5,
+    random_state: Optional[int] = None,
+) -> float:
+    """Mean held-out accuracy over ``n_splits`` folds.
+
+    ``model_factory`` is a zero-argument callable returning a fresh
+    unfitted model exposing ``fit(X, y)`` and ``score(X, y)``. Folds whose
+    training part contains a single class are still evaluated (the SVC
+    degenerates to a constant predictor), mirroring what ExBox encounters
+    early in bootstrap.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have mismatched lengths")
+    kf = KFold(n_splits=n_splits, shuffle=True, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in kf.split(X.shape[0]):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(model.score(X[test_idx], y[test_idx]))
+    return float(np.mean(scores))
+
+
+def train_test_split(
+    X, y, test_fraction: float = 0.25, random_state: Optional[int] = None
+):
+    """Random split into ``(X_train, X_test, y_train, y_test)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have mismatched lengths")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("split leaves no training samples")
+    rng = np.random.default_rng(random_state)
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

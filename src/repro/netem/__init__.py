@@ -1,0 +1,14 @@
+"""tc/netem-equivalent traffic-conditioning substrate.
+
+The paper uses the Linux ``tc``/``netem`` utilities to throttle
+bandwidth, add latency and inject loss on its testbeds (for the IQX
+training sweep of Figure 12 and the adaptation experiment of Figure 11).
+This package provides the same knobs for the emulated testbeds: a token
+bucket, a fixed/jittered delay line, a Bernoulli loss gate, and a
+:class:`Shaper` profile that composes them or rewrites a
+:class:`~repro.wireless.qos.FlowQoS` directly.
+"""
+
+from repro.netem.shaping import DelayLine, LossGate, Shaper, TokenBucket
+
+__all__ = ["DelayLine", "LossGate", "Shaper", "TokenBucket"]

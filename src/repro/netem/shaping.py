@@ -1,0 +1,141 @@
+"""Traffic-conditioning primitives (tc/netem equivalents).
+
+Two usage modes:
+
+- *packet mode* — :class:`TokenBucket`, :class:`DelayLine` and
+  :class:`LossGate` operate on per-packet timestamps, for the
+  packet-level simulators;
+- *fluid mode* — :meth:`Shaper.apply_to_qos` rewrites a
+  :class:`~repro.wireless.qos.FlowQoS` summary (cap the rate, add the
+  latency, inject the loss), for the fluid-model experiments. Figure 11's
+  "throttled network" and Figure 12's rate x latency sweep both use this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.wireless.qos import FlowQoS
+
+__all__ = ["DelayLine", "LossGate", "Shaper", "TokenBucket"]
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter.
+
+    ``offer(t, bits)`` returns the time at which a packet arriving at
+    ``t`` with ``bits`` payload may be released (>= t), or defers it
+    behind earlier backlog: the bucket fills at ``rate_bps`` up to
+    ``burst_bits``.
+    """
+
+    def __init__(self, rate_bps: float, burst_bits: float = 1500 * 8 * 10) -> None:
+        if rate_bps <= 0 or burst_bits <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bits = burst_bits
+        self._tokens = burst_bits
+        self._last_t = 0.0
+        self._release_horizon = 0.0
+
+    def offer(self, t: float, bits: float) -> float:
+        """Release time for a packet of ``bits`` arriving at ``t``."""
+        if t < self._last_t:
+            raise ValueError("time went backwards")
+        self._tokens = min(
+            self.burst_bits, self._tokens + (t - self._last_t) * self.rate_bps
+        )
+        self._last_t = t
+        # The balance may go negative: backlogged packets borrow future
+        # tokens, which is what spaces their releases at the token rate.
+        self._tokens -= bits
+        if self._tokens >= 0:
+            release = max(t, self._release_horizon)
+        else:
+            release = max(t + (-self._tokens) / self.rate_bps, self._release_horizon)
+        self._release_horizon = release
+        return release
+
+
+class DelayLine:
+    """Fixed delay with optional uniform jitter (netem ``delay X Y``)."""
+
+    def __init__(
+        self,
+        delay_s: float,
+        jitter_s: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if delay_s < 0 or jitter_s < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if jitter_s > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.delay_s = delay_s
+        self.jitter_s = jitter_s
+        self._rng = rng
+
+    def delay_for_packet(self) -> float:
+        if self.jitter_s == 0:
+            return self.delay_s
+        return self.delay_s + float(self._rng.uniform(-self.jitter_s, self.jitter_s))
+
+
+class LossGate:
+    """Bernoulli packet dropper (netem ``loss p%``)."""
+
+    def __init__(self, loss_rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        self.loss_rate = loss_rate
+        self._rng = rng
+
+    def drops(self) -> bool:
+        return bool(self._rng.random() < self.loss_rate)
+
+
+@dataclass(frozen=True)
+class Shaper:
+    """A netem-style conditioning profile.
+
+    ``rate_bps`` of None means unthrottled; ``delay_s`` and ``loss_rate``
+    add to whatever the network already imposes.
+    """
+
+    rate_bps: Optional[float] = None
+    delay_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps is not None and self.rate_bps <= 0:
+            raise ValueError("rate must be positive when set")
+        if self.delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+
+    @property
+    def is_noop(self) -> bool:
+        return self.rate_bps is None and self.delay_s == 0 and self.loss_rate == 0
+
+    def apply_to_qos(self, qos: FlowQoS) -> FlowQoS:
+        """Condition a fluid-mode QoS summary through this profile."""
+        if self.is_noop:
+            return qos
+        throughput = qos.throughput_bps
+        if self.rate_bps is not None:
+            throughput = min(throughput, self.rate_bps)
+        loss = 1.0 - (1.0 - qos.loss_rate) * (1.0 - self.loss_rate)
+        return FlowQoS(
+            throughput_bps=throughput,
+            delay_s=qos.delay_s + self.delay_s,
+            loss_rate=loss,
+        )
+
+    def scaled_aggregate_rate(self, total_demand_bps: float) -> Optional[float]:
+        """Aggregate cap for a cell-level throttle (None = uncapped)."""
+        if self.rate_bps is None:
+            return None
+        return min(self.rate_bps, total_demand_bps)

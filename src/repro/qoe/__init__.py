@@ -1,0 +1,20 @@
+"""QoE substrate: the IQX hypothesis, thresholds and MOS helpers."""
+
+from repro.qoe.iqx import IQXModel, fit_iqx, normalize_qos
+from repro.qoe.thresholds import (
+    DEFAULT_THRESHOLDS,
+    QoEThreshold,
+    threshold_for_class,
+)
+from repro.qoe.mos import mos_from_normalized, normalized_from_metric
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "IQXModel",
+    "QoEThreshold",
+    "fit_iqx",
+    "mos_from_normalized",
+    "normalize_qos",
+    "normalized_from_metric",
+    "threshold_for_class",
+]

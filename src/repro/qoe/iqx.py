@@ -1,0 +1,142 @@
+"""The IQX hypothesis: QoE = alpha + beta * exp(-gamma * QoS).
+
+Fiedler, Hossfeld and Tran-Gia's IQX hypothesis (IEEE Network 2010,
+reference [44] of the paper) posits an exponential relationship between a
+dominant QoS metric and the resulting QoE. ExBox fits one IQX model per
+application class from a training device's measurements and then uses it
+to estimate QoE from passive network-side QoS (Section 3.2).
+
+Fitting follows the paper: non-linear least squares over (QoS, QoE)
+pairs, with QoS normalized to [0, 1] first so that gamma is comparable
+across applications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+__all__ = ["IQXModel", "fit_iqx", "normalize_qos"]
+
+
+def _iqx(qos: np.ndarray, alpha: float, beta: float, gamma: float) -> np.ndarray:
+    return alpha + beta * np.exp(-gamma * qos)
+
+
+def normalize_qos(
+    qos_values: Sequence[float],
+    lo: float = None,
+    hi: float = None,
+    log_scale: bool = True,
+) -> Tuple[np.ndarray, float, float]:
+    """Scale QoS samples into [0, 1]; returns (scaled, lo, hi).
+
+    ``lo``/``hi`` may be pinned (e.g. to apply a training normalization
+    to later samples); by default they come from the data. The paper's
+    scalar QoS (throughput/delay) spans several orders of magnitude with
+    all the QoE action at the low end, so normalization is logarithmic
+    by default — the IQX exponential then has a fittable operating range.
+    """
+    arr = np.asarray(qos_values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no QoS samples")
+    if log_scale and np.any(arr <= 0):
+        raise ValueError("log-scale normalization needs positive QoS values")
+    lo = float(arr.min()) if lo is None else float(lo)
+    hi = float(arr.max()) if hi is None else float(hi)
+    if hi <= lo:
+        raise ValueError("degenerate QoS range")
+    if log_scale:
+        scaled = (np.log(arr) - np.log(lo)) / (np.log(hi) - np.log(lo))
+    else:
+        scaled = (arr - lo) / (hi - lo)
+    return np.clip(scaled, 0.0, 1.0), lo, hi
+
+
+@dataclass(frozen=True)
+class IQXModel:
+    """A fitted IQX curve plus the QoS normalization it was fitted under."""
+
+    alpha: float
+    beta: float
+    gamma: float
+    qos_lo: float = 0.0
+    qos_hi: float = 1.0
+    rmse: float = float("nan")
+    log_scale: bool = True
+
+    def predict(self, qos: float) -> float:
+        """QoE estimate for one raw (unnormalized) QoS value."""
+        if self.log_scale:
+            qos = max(qos, 1e-12)
+            x = (math.log(qos) - math.log(self.qos_lo)) / (
+                math.log(self.qos_hi) - math.log(self.qos_lo)
+            )
+        else:
+            x = (qos - self.qos_lo) / (self.qos_hi - self.qos_lo)
+        x = min(max(x, 0.0), 1.0)
+        return self.alpha + self.beta * math.exp(-self.gamma * x)
+
+    def predict_many(self, qos_values: Sequence[float]) -> np.ndarray:
+        x, _, _ = normalize_qos(
+            qos_values, self.qos_lo, self.qos_hi, log_scale=self.log_scale
+        )
+        return _iqx(x, self.alpha, self.beta, self.gamma)
+
+    @property
+    def decreasing(self) -> bool:
+        """True when QoE falls as QoS improves (e.g. page-load time)."""
+        return self.beta * self.gamma > 0
+
+
+def fit_iqx(
+    qos_values: Sequence[float],
+    qoe_values: Sequence[float],
+    higher_is_better: bool = False,
+    log_scale: bool = True,
+) -> IQXModel:
+    """Least-squares IQX fit over raw (QoS, QoE) samples.
+
+    ``higher_is_better`` sets the initial-guess orientation: metrics like
+    PSNR grow toward a ceiling as QoS improves (beta < 0), while delays
+    shrink toward a floor (beta > 0).
+    """
+    qoe = np.asarray(qoe_values, dtype=float)
+    if len(qos_values) != qoe.size:
+        raise ValueError("QoS and QoE sample counts differ")
+    if qoe.size < 3:
+        raise ValueError("need at least 3 samples to fit 3 parameters")
+    x, lo, hi = normalize_qos(qos_values, log_scale=log_scale)
+
+    span = float(qoe.max() - qoe.min())
+    if higher_is_better:
+        p0 = (float(qoe.max()), -max(span, 1e-6), 3.0)
+    else:
+        p0 = (float(qoe.min()), max(span, 1e-6), 3.0)
+    try:
+        params, _ = curve_fit(
+            _iqx, x, qoe, p0=p0, maxfev=20000,
+            bounds=([-np.inf, -np.inf, 0.0], [np.inf, np.inf, 200.0]),
+        )
+    except RuntimeError:
+        # Fall back to the initial guess refined by a coarse gamma grid.
+        best, best_err = p0, float("inf")
+        for gamma in np.linspace(0.1, 50.0, 120):
+            e = np.exp(-gamma * x)
+            A = np.column_stack([np.ones_like(e), e])
+            coef, *_ = np.linalg.lstsq(A, qoe, rcond=None)
+            err = float(np.sum((A @ coef - qoe) ** 2))
+            if err < best_err:
+                best, best_err = (float(coef[0]), float(coef[1]), float(gamma)), err
+        params = best
+    alpha, beta, gamma = (float(v) for v in params)
+    resid = _iqx(x, alpha, beta, gamma) - qoe
+    rmse = float(np.sqrt(np.mean(resid**2)))
+    return IQXModel(
+        alpha=alpha, beta=beta, gamma=gamma, qos_lo=lo, qos_hi=hi,
+        rmse=rmse, log_scale=log_scale,
+    )

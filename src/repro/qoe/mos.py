@@ -1,0 +1,66 @@
+"""Normalized-QoE and MOS helpers.
+
+The paper's Figure 2 heatmaps show QoE "normalized for comparison
+purposes" across applications and then averaged network-wide. These
+helpers perform that normalization: a raw metric (PLT, startup delay,
+PSNR) is mapped onto [0, 1] where 1 is ideal, anchored so that the
+acceptability threshold lands at 0.5; a conventional 1-5 MOS mapping is
+provided on top.
+"""
+
+from __future__ import annotations
+
+from repro.qoe.thresholds import QoEThreshold
+
+__all__ = ["mos_from_normalized", "normalized_from_metric"]
+
+
+def normalized_from_metric(
+    qoe: float,
+    threshold: QoEThreshold,
+    best: float,
+    worst: float,
+) -> float:
+    """Map a raw QoE metric onto [0, 1] with the threshold at 0.5.
+
+    ``best``/``worst`` anchor the ideal and unusable metric values (e.g.
+    PLT: best 0.5 s, worst 15 s; PSNR: best 37 dB, worst 15 dB). Values
+    between worst and the threshold map to [0, 0.5); threshold to best
+    maps to [0.5, 1]. Piecewise-linear, clamped.
+    """
+    if best == worst:
+        raise ValueError("best and worst must differ")
+    thr = threshold.value
+    if threshold.higher_is_better:
+        if not worst < thr < best and not best < thr < worst:
+            if not (min(best, worst) <= thr <= max(best, worst)):
+                raise ValueError("threshold must lie between worst and best")
+    else:
+        if not (min(best, worst) <= thr <= max(best, worst)):
+            raise ValueError("threshold must lie between worst and best")
+
+    def _lerp(x, x0, x1, y0, y1):
+        if x1 == x0:
+            return y1
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+    if threshold.higher_is_better:
+        if qoe >= thr:
+            val = _lerp(min(qoe, best), thr, best, 0.5, 1.0)
+        else:
+            val = _lerp(max(qoe, worst), worst, thr, 0.0, 0.5)
+    else:
+        # Lower is better: best < thr < worst numerically.
+        if qoe <= thr:
+            val = _lerp(max(qoe, best), thr, best, 0.5, 1.0)
+        else:
+            val = _lerp(min(qoe, worst), worst, thr, 0.0, 0.5)
+    return min(max(val, 0.0), 1.0)
+
+
+def mos_from_normalized(normalized: float) -> float:
+    """Map normalized QoE in [0, 1] to a 1-5 mean-opinion score."""
+    if not 0.0 <= normalized <= 1.0:
+        raise ValueError("normalized QoE must be in [0, 1]")
+    return 1.0 + 4.0 * normalized

@@ -1,0 +1,56 @@
+"""Per-application QoE acceptability thresholds.
+
+ExCR uses a 'thresholded' QoE model (Section 2.1): each flow's QoE is
+mapped to acceptable (+1) or unacceptable (-1) via a per-class threshold.
+The paper takes thresholds from Chen, Farley and Ye's application QoS
+requirements study (reference [39]) and names two explicitly: 3 s page
+load time (Section 5.3) and 5 s video startup delay (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.traffic.flows import CONFERENCING, STREAMING, WEB
+
+__all__ = ["DEFAULT_THRESHOLDS", "QoEThreshold", "threshold_for_class"]
+
+
+@dataclass(frozen=True)
+class QoEThreshold:
+    """Acceptability rule for one application class's QoE metric."""
+
+    app_class: str
+    metric_name: str
+    value: float
+    higher_is_better: bool
+
+    def is_acceptable(self, qoe: float) -> bool:
+        """True when ``qoe`` meets the requirement."""
+        if self.higher_is_better:
+            return qoe >= self.value
+        return qoe <= self.value
+
+    def label(self, qoe: float) -> int:
+        """The ±1 label ExBox trains on."""
+        return 1 if self.is_acceptable(qoe) else -1
+
+
+DEFAULT_THRESHOLDS: Dict[str, QoEThreshold] = {
+    # Paper, Section 5.3: "3 secs page load time in case of web browsing".
+    WEB: QoEThreshold(WEB, "page_load_time", 3.0, higher_is_better=False),
+    # Paper, Figure 3: "a desirable value of this QoE metric is 5 seconds".
+    STREAMING: QoEThreshold(STREAMING, "startup_delay", 5.0, higher_is_better=False),
+    # PSNR >= 30 dB is the conventional 'good' bar for received video
+    # (Chen et al. [39] / standard PSNR quality bands).
+    CONFERENCING: QoEThreshold(CONFERENCING, "psnr", 30.0, higher_is_better=True),
+}
+
+
+def threshold_for_class(app_class: str) -> QoEThreshold:
+    """Default threshold for a class name."""
+    try:
+        return DEFAULT_THRESHOLDS[app_class]
+    except KeyError:
+        raise ValueError(f"unknown app class {app_class!r}") from None

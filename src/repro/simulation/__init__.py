@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate.
+
+Stands in for the ns-3 simulator the paper used for its scale-up study:
+a minimal but fully featured event-driven kernel (calendar queue, timers,
+generator-based processes) on which the packet-level WiFi and LTE models
+in :mod:`repro.wireless` run.
+"""
+
+from repro.simulation.engine import Event, Process, Simulator
+from repro.simulation.rng import RngRegistry, seeded_rng
+
+__all__ = ["Event", "Process", "RngRegistry", "Simulator", "seeded_rng"]

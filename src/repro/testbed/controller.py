@@ -1,0 +1,135 @@
+"""Client controller: drives traffic matrices on a testbed.
+
+Models the central controller of Figure 6c: it takes a traffic matrix
+``(#web, #streaming, #conferencing)``, launches the corresponding apps on
+a random subset of idle UEs (over adb, in the real testbed), waits for
+the run, and collects each app's ground-truth QoE log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traffic.flows import APP_CLASSES
+from repro.wireless.qos import FlowQoS
+
+__all__ = ["ClientController", "FlowRecord", "MatrixRun"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Everything measured about one flow during a matrix run.
+
+    ``background`` marks flows demoted to the low-priority access
+    category (Section 4.2): they are measured but carry no QoE promise,
+    so they never contribute to the network-wide label.
+    """
+
+    flow_id: int
+    app_class: str
+    snr_db: float
+    snr_level: int
+    qos: FlowQoS
+    qoe: float
+    acceptable: bool
+    background: bool = False
+
+
+@dataclass(frozen=True)
+class MatrixRun:
+    """Result of running one traffic matrix on a testbed."""
+
+    records: Tuple[FlowRecord, ...]
+
+    @property
+    def network_acceptable(self) -> bool:
+        """The paper's ground-truth label: every admitted (non-background)
+        flow's QoE acceptable."""
+        return all(r.acceptable for r in self.records if not r.background)
+
+    @property
+    def label(self) -> int:
+        return 1 if self.network_acceptable else -1
+
+    def counts(self, n_levels: int) -> Tuple[int, ...]:
+        """The class-major flattened traffic matrix the admitted flows
+        form (background flows sit outside the managed matrix)."""
+        counts = [0] * (len(APP_CLASSES) * n_levels)
+        for record in self.records:
+            if record.background:
+                continue
+            idx = APP_CLASSES.index(record.app_class) * n_levels + record.snr_level
+            counts[idx] += 1
+        return tuple(counts)
+
+    def records_for_class(self, app_class: str) -> Tuple[FlowRecord, ...]:
+        return tuple(r for r in self.records if r.app_class == app_class)
+
+    def median_qoe(self, app_class: str) -> Optional[float]:
+        values = [r.qoe for r in self.records_for_class(app_class)]
+        if not values:
+            return None
+        return float(np.median(values))
+
+
+class ClientController:
+    """Schedules apps on testbed devices and measures matrix runs."""
+
+    def __init__(self, testbed, rng: Optional[np.random.Generator] = None) -> None:
+        self.testbed = testbed
+        self.rng = rng or np.random.default_rng(0)
+
+    def _specs_for_matrix(
+        self,
+        matrix: Sequence[int],
+        snr_db_per_flow: Optional[Sequence[float]] = None,
+    ):
+        """Expand a (#web, #streaming, #conferencing) matrix to flow specs.
+
+        Devices are chosen uniformly at random among the idle ones, as
+        the real controller does; each flow inherits its device's SNR
+        unless ``snr_db_per_flow`` overrides placement.
+        """
+        if len(matrix) != len(APP_CLASSES):
+            raise ValueError(
+                f"matrix must have {len(APP_CLASSES)} entries, got {len(matrix)}"
+            )
+        total = int(sum(matrix))
+        if total > self.testbed.max_clients:
+            raise ValueError(
+                f"matrix needs {total} devices, testbed has "
+                f"{self.testbed.max_clients}"
+            )
+        device_ids = self.rng.permutation(len(self.testbed.devices))[:total]
+        specs = []
+        flow_idx = 0
+        for cls_idx, count in enumerate(matrix):
+            for _ in range(int(count)):
+                device = self.testbed.devices[device_ids[flow_idx]]
+                if snr_db_per_flow is not None:
+                    snr = float(snr_db_per_flow[flow_idx])
+                else:
+                    snr = device.snr_db
+                specs.append((APP_CLASSES[cls_idx], snr))
+                flow_idx += 1
+        return specs
+
+    def run_traffic_matrix(
+        self,
+        matrix: Sequence[int],
+        snr_db_per_flow: Optional[Sequence[float]] = None,
+    ) -> MatrixRun:
+        """Run one matrix and collect the QoE ground truth."""
+        specs = self._specs_for_matrix(matrix, snr_db_per_flow)
+        return self.testbed.run_flows(specs, rng=self.rng)
+
+    def ping_rtt_s(self) -> float:
+        """RTT probe to a UE, as the controller logs periodically."""
+        run = self.testbed.run_flows([], rng=self.rng)
+        del run  # an idle network: report the base path latency
+        base = getattr(self.testbed, "base_delay_s", 0.035)
+        jitter = float(self.rng.uniform(-0.005, 0.005))
+        return max(base + self.testbed.shaper.delay_s + jitter, 1e-4)

@@ -1,0 +1,125 @@
+"""Mobile device models: regular UEs and the QoE training device.
+
+A :class:`MobileDevice` is a client slot in a testbed with a radio
+position (its SNR). The :class:`TrainingDevice` is the paper's
+instrumented phone (Figure 5): the network administrator drives it
+through a rate x latency sweep (with netem-style shaping) while the
+device records per-application ground-truth QoE, producing the
+(QoS, QoE) samples the QoE Estimator fits its IQX models on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.base import AppModel, app_model_for_class
+from repro.netem.shaping import Shaper
+from repro.wireless.qos import FlowQoS
+
+__all__ = ["MobileDevice", "TrainingDevice"]
+
+
+@dataclass
+class MobileDevice:
+    """One client slot in a testbed.
+
+    ``snr_db`` reflects the device's placement (the paper moves phones
+    between -30 dBm and -80 dBm positions); ``active_app`` is the class
+    of the flow currently running, or None when idle.
+    """
+
+    device_id: int
+    snr_db: float = 53.0
+    active_app: str = None
+
+    @property
+    def is_idle(self) -> bool:
+        return self.active_app is None
+
+    def start_app(self, app_class: str) -> None:
+        if not self.is_idle:
+            raise RuntimeError(
+                f"device {self.device_id} already runs {self.active_app}"
+            )
+        self.active_app = app_class
+
+    def stop_app(self) -> None:
+        self.active_app = None
+
+    def move_to(self, snr_db: float) -> None:
+        """Relocate the device (mobility changes its link quality)."""
+        self.snr_db = snr_db
+
+
+@dataclass
+class TrainingDevice:
+    """The instrumented phone used to fit IQX models.
+
+    ``baseline_qos`` is what the device observes on an otherwise idle
+    network; the sweep degrades it through netem profiles.
+    """
+
+    device_id: int = 0
+    baseline_qos: FlowQoS = field(
+        default_factory=lambda: FlowQoS(
+            throughput_bps=20.0e6, delay_s=0.035, loss_rate=0.0
+        )
+    )
+
+    def run_qoe_sweep(
+        self,
+        app_model: AppModel,
+        rates_bps: Sequence[float],
+        delays_s: Sequence[float],
+        runs_per_point: int = 10,
+        qos_noise: float = 0.05,
+        rng=None,
+    ) -> List[Tuple[float, float]]:
+        """The paper's Figure 12 procedure: run the app under each
+        rate x latency profile and record (scalar QoS, ground-truth QoE).
+
+        ``runs_per_point`` repeated measurements jitter the observed QoS
+        by ``qos_noise`` (relative), as real runs would.
+        """
+        if runs_per_point < 1:
+            raise ValueError("need at least one run per point")
+        if qos_noise > 0 and rng is None:
+            raise ValueError("noisy sweeps need an rng")
+        samples: List[Tuple[float, float]] = []
+        for rate in rates_bps:
+            for delay in delays_s:
+                shaper = Shaper(rate_bps=rate, delay_s=delay)
+                shaped = shaper.apply_to_qos(self.baseline_qos)
+                for _ in range(runs_per_point):
+                    qos = shaped
+                    if qos_noise > 0:
+                        factor = 1.0 + float(rng.normal(0.0, qos_noise))
+                        factor = max(factor, 0.2)
+                        qos = FlowQoS(
+                            throughput_bps=shaped.throughput_bps * factor,
+                            delay_s=max(shaped.delay_s / factor, 1e-4),
+                            loss_rate=shaped.loss_rate,
+                        )
+                    samples.append((qos.scalar(), app_model.measure_qoe(qos)))
+        return samples
+
+    def collect_training_data(
+        self,
+        app_classes: Sequence[str],
+        rates_bps: Sequence[float],
+        delays_s: Sequence[float],
+        runs_per_point: int = 10,
+        rng=None,
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Sweep every application class; keyed by class name."""
+        return {
+            app_class: self.run_qoe_sweep(
+                app_model_for_class(app_class),
+                rates_bps,
+                delays_s,
+                runs_per_point=runs_per_point,
+                rng=rng,
+            )
+            for app_class in app_classes
+        }

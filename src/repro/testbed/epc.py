@@ -1,0 +1,179 @@
+"""Minimal Evolved Packet Core (EPC) model.
+
+The paper's LTE testbed runs a licensed OpenEPC stack whose components
+(HSS, MME, SGW, PGW) each live in a VM. This module models the control
+plane those components provide — subscription lookup, attach, default
+bearer setup, GTP-like forwarding path — at the level of detail the
+ExBox experiments exercise: UEs must attach through MME/HSS before
+bearers exist, the PGW is the traffic-observation point where ExBox and
+the packet capture sit, and bearers can be torn down on detach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+__all__ = [
+    "AttachError",
+    "Bearer",
+    "EvolvedPacketCore",
+    "HomeSubscriberServer",
+    "MobilityManagementEntity",
+    "PacketGateway",
+    "ServingGateway",
+    "Subscription",
+]
+
+
+class AttachError(RuntimeError):
+    """Raised when an attach procedure fails (unknown IMSI, capacity...)."""
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One SIM: IMSI plus a subscriber profile."""
+
+    imsi: str
+    msisdn: str
+    qci: int = 9  # default-bearer QoS class identifier (best effort)
+
+
+@dataclass
+class Bearer:
+    """An established default bearer for an attached UE."""
+
+    imsi: str
+    teid: int
+    ue_ip: str
+    qci: int
+
+
+class HomeSubscriberServer:
+    """HSS: the subscription database."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, Subscription] = {}
+
+    def provision(self, subscription: Subscription) -> None:
+        if subscription.imsi in self._subs:
+            raise ValueError(f"IMSI {subscription.imsi} already provisioned")
+        self._subs[subscription.imsi] = subscription
+
+    def lookup(self, imsi: str) -> Subscription:
+        try:
+            return self._subs[imsi]
+        except KeyError:
+            raise AttachError(f"unknown IMSI {imsi}") from None
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+
+class MobilityManagementEntity:
+    """MME: runs the attach procedure and tracks attached UEs."""
+
+    def __init__(self, hss: HomeSubscriberServer, max_ues: Optional[int] = None) -> None:
+        self._hss = hss
+        self.max_ues = max_ues
+        self.attached: Set[str] = set()
+
+    def attach(self, imsi: str) -> Subscription:
+        if imsi in self.attached:
+            raise AttachError(f"IMSI {imsi} already attached")
+        if self.max_ues is not None and len(self.attached) >= self.max_ues:
+            raise AttachError("eNodeB UE capacity reached")
+        subscription = self._hss.lookup(imsi)
+        self.attached.add(imsi)
+        return subscription
+
+    def detach(self, imsi: str) -> None:
+        self.attached.discard(imsi)
+
+
+class ServingGateway:
+    """SGW: anchors bearers toward the radio side."""
+
+    def __init__(self) -> None:
+        self._teid_counter = 1
+        self.bearers: Dict[str, Bearer] = {}
+
+    def create_bearer(self, subscription: Subscription, ue_ip: str) -> Bearer:
+        bearer = Bearer(
+            imsi=subscription.imsi,
+            teid=self._teid_counter,
+            ue_ip=ue_ip,
+            qci=subscription.qci,
+        )
+        self._teid_counter += 1
+        self.bearers[subscription.imsi] = bearer
+        return bearer
+
+    def delete_bearer(self, imsi: str) -> None:
+        self.bearers.pop(imsi, None)
+
+
+class PacketGateway:
+    """PGW: IP anchor; allocates UE addresses and forwards packets.
+
+    This is where the paper runs tcpdump/tc and where ExBox is
+    collocated, so it exposes simple per-UE byte counters.
+    """
+
+    def __init__(self, ip_prefix: str = "10.45.0.") -> None:
+        self._ip_prefix = ip_prefix
+        self._next_host = 2
+        self.bytes_forwarded: Dict[str, int] = {}
+
+    def allocate_ip(self) -> str:
+        ip = f"{self._ip_prefix}{self._next_host}"
+        self._next_host += 1
+        return ip
+
+    def forward(self, imsi: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        self.bytes_forwarded[imsi] = self.bytes_forwarded.get(imsi, 0) + nbytes
+
+
+@dataclass
+class EvolvedPacketCore:
+    """The assembled core: HSS + MME + SGW + PGW.
+
+    ``max_ues`` models the E-40's 8-UE bound from the paper.
+    """
+
+    max_ues: Optional[int] = 8
+    hss: HomeSubscriberServer = field(default_factory=HomeSubscriberServer)
+    sgw: ServingGateway = field(default_factory=ServingGateway)
+    pgw: PacketGateway = field(default_factory=PacketGateway)
+
+    def __post_init__(self) -> None:
+        self.mme = MobilityManagementEntity(self.hss, max_ues=self.max_ues)
+
+    def provision_sims(self, n: int) -> None:
+        """Program ``n`` SIM cards into the HSS."""
+        start = len(self.hss)
+        for i in range(n):
+            idx = start + i
+            self.hss.provision(
+                Subscription(imsi=f"00101{idx:010d}", msisdn=f"555{idx:07d}")
+            )
+
+    def attach_ue(self, imsi: str) -> Bearer:
+        """Full attach: MME auth via HSS, PGW IP, SGW default bearer."""
+        subscription = self.mme.attach(imsi)
+        try:
+            ue_ip = self.pgw.allocate_ip()
+            return self.sgw.create_bearer(subscription, ue_ip)
+        except Exception:
+            self.mme.detach(imsi)
+            raise
+
+    def detach_ue(self, imsi: str) -> None:
+        self.sgw.delete_bearer(imsi)
+        self.mme.detach(imsi)
+
+    @property
+    def attached_count(self) -> int:
+        return len(self.mme.attached)

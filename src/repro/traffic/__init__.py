@@ -1,0 +1,47 @@
+"""Workload substrate: application flows, packet traces and arrivals.
+
+Replaces the paper's captured Skype/YouTube/BBC packet traces and the
+Rice LiveLab usage dataset with seeded synthetic equivalents that expose
+the same interfaces to the rest of the system (see DESIGN.md, Section 2).
+"""
+
+from repro.traffic.flows import (
+    APP_CLASSES,
+    CONFERENCING,
+    STREAMING,
+    WEB,
+    AppProfile,
+    DEFAULT_PROFILES,
+    Flow,
+    FlowRequest,
+)
+from repro.traffic.livelab import LiveLabSynthesizer
+from repro.traffic.arrival import FlowEvent, random_matrix_sequence, trace_matrix_sequence
+from repro.traffic.generators import (
+    ConferencingTraceGenerator,
+    StreamingTraceGenerator,
+    WebTraceGenerator,
+    generator_for_class,
+)
+from repro.traffic.packets import Packet, PacketTrace
+
+__all__ = [
+    "APP_CLASSES",
+    "AppProfile",
+    "CONFERENCING",
+    "ConferencingTraceGenerator",
+    "DEFAULT_PROFILES",
+    "Flow",
+    "FlowEvent",
+    "FlowRequest",
+    "LiveLabSynthesizer",
+    "Packet",
+    "PacketTrace",
+    "STREAMING",
+    "StreamingTraceGenerator",
+    "WEB",
+    "WebTraceGenerator",
+    "generator_for_class",
+    "random_matrix_sequence",
+    "trace_matrix_sequence",
+]

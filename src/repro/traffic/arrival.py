@@ -1,0 +1,101 @@
+"""Flow arrival schedules.
+
+The experiments feed the admission controller a chronological sequence of
+*flow events* derived from a sequence of traffic matrices, under the two
+schemes in the paper (Section 5.2):
+
+- **Random** — the matrix jumps to a uniformly random point of the state
+  space at every step (flows may arrive and depart drastically),
+- **LiveLab** — the matrix follows the mined usage-log sequence.
+
+A :class:`FlowEvent` is the unit the harness consumes: the traffic matrix
+*before* the event plus the (class, SNR-level) of the arriving flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traffic.flows import APP_CLASSES
+
+__all__ = ["FlowEvent", "random_matrix_sequence", "trace_matrix_sequence"]
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One flow arrival: state before it, and the newcomer's identity.
+
+    ``matrix_before`` has one entry per (class, snr-level) pair, flattened
+    class-major, matching the paper's ``<a_{1,1} ... a_{k,r}>`` vector.
+    """
+
+    matrix_before: Tuple[int, ...]
+    app_class_index: int
+    snr_level: int
+
+    @property
+    def matrix_after(self) -> Tuple[int, ...]:
+        after = list(self.matrix_before)
+        after[self.slot] += 1
+        return tuple(after)
+
+    @property
+    def slot(self) -> int:
+        n_levels = len(self.matrix_before) // len(APP_CLASSES)
+        return self.app_class_index * n_levels + self.snr_level
+
+
+def random_matrix_sequence(
+    n_steps: int,
+    max_per_class: int,
+    rng: np.random.Generator,
+    max_total: Optional[int] = None,
+    balanced: bool = True,
+) -> List[Tuple[int, int, int]]:
+    """The paper's Random scheme: matrices that change drastically.
+
+    With ``balanced`` (default) the total flow count is drawn uniformly
+    and then split multinomially across classes, so light and heavy
+    matrices are equally represented (per-class-uniform sampling would
+    concentrate almost all mass on overloaded matrices). ``balanced=False``
+    gives the naive per-class-uniform draw.
+    """
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    out: List[Tuple[int, int, int]] = []
+    cap = max_total if max_total is not None else max_per_class * len(APP_CLASSES)
+    while len(out) < n_steps:
+        if balanced:
+            total = int(rng.integers(1, cap + 1))
+            splits = rng.multinomial(total, [1.0 / len(APP_CLASSES)] * len(APP_CLASSES))
+            matrix = tuple(int(v) for v in splits)
+            if any(v > max_per_class for v in matrix):
+                continue
+        else:
+            matrix = tuple(
+                int(rng.integers(0, max_per_class + 1)) for _ in APP_CLASSES
+            )
+        if sum(matrix) == 0:
+            continue
+        if max_total is not None and sum(matrix) > max_total:
+            continue
+        out.append(matrix)
+    return out
+
+
+def trace_matrix_sequence(
+    matrices: Sequence[Tuple[int, int, int]],
+    max_total: Optional[int] = None,
+) -> List[Tuple[int, int, int]]:
+    """Filter a mined matrix sequence to the testbed's capacity bound."""
+    out = []
+    for matrix in matrices:
+        if sum(matrix) == 0:
+            continue
+        if max_total is not None and sum(matrix) > max_total:
+            continue
+        out.append(tuple(int(v) for v in matrix))
+    return out

@@ -1,0 +1,116 @@
+"""Application classes and flow descriptors.
+
+The paper evaluates three application classes chosen because their QoE
+depends on different network attributes (Section 5.2):
+
+- **web** — page loads; QoE = page-load time (delay-sensitive),
+- **streaming** — YouTube HD video; QoE = startup delay (rate-sensitive),
+- **conferencing** — Hangouts/Skype video call; QoE = PSNR
+  (delay- and loss-sensitive).
+
+:class:`AppProfile` captures the per-class offered-load model used when a
+flow of that class is placed on a network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "APP_CLASSES",
+    "AppProfile",
+    "CONFERENCING",
+    "DEFAULT_PROFILES",
+    "Flow",
+    "FlowRequest",
+    "WEB",
+    "STREAMING",
+]
+
+WEB = "web"
+STREAMING = "streaming"
+CONFERENCING = "conferencing"
+
+#: Canonical ordering of classes; traffic matrices index classes this way.
+APP_CLASSES: Tuple[str, ...] = (WEB, STREAMING, CONFERENCING)
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Offered-load model for one application class.
+
+    ``demand_bps`` is the downlink rate the application tries to consume
+    when active; ``packet_bits`` the typical packet size; ``burstiness``
+    the peak-to-mean ratio of the ON/OFF pattern (1.0 = CBR).
+    """
+
+    app_class: str
+    demand_bps: float
+    packet_bits: int = 1500 * 8
+    burstiness: float = 1.0
+    delay_sensitive: bool = False
+    elastic: bool = True  # TCP-like rate adaptation (vs RTP-like CBR)
+
+    def __post_init__(self) -> None:
+        if self.demand_bps <= 0:
+            raise ValueError("demand must be positive")
+        if self.burstiness < 1.0:
+            raise ValueError("burstiness is peak/mean, must be >= 1")
+
+
+#: Per-class defaults calibrated to the paper's applications: BBC-like
+#: page loads, 720p YouTube, one-way Hangouts video. ``demand_bps`` is the
+#: rate the application consumes while actively transferring (web pages
+#: download in bursts well above their long-term average; streaming
+#: downloads somewhat above the 4 Mbps media rate to build its buffer).
+DEFAULT_PROFILES: Dict[str, AppProfile] = {
+    WEB: AppProfile(WEB, demand_bps=6.0e6, packet_bits=1200 * 8, burstiness=6.0,
+                    delay_sensitive=True),
+    STREAMING: AppProfile(STREAMING, demand_bps=5.0e6, packet_bits=1500 * 8,
+                          burstiness=2.0),
+    CONFERENCING: AppProfile(CONFERENCING, demand_bps=1.5e6, packet_bits=1100 * 8,
+                             burstiness=1.2, delay_sensitive=True, elastic=False),
+}
+
+_flow_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """An arriving flow, as seen by the admission controller.
+
+    ``app_class`` may be None when classification has not run yet; the
+    middlebox fills it in via :mod:`repro.classification`.
+    """
+
+    client_id: int
+    app_class: Optional[str] = None
+    snr_db: float = 53.0
+
+    def classified(self, app_class: str) -> "FlowRequest":
+        return FlowRequest(
+            client_id=self.client_id, app_class=app_class, snr_db=self.snr_db
+        )
+
+
+@dataclass
+class Flow:
+    """An admitted, active flow."""
+
+    app_class: str
+    snr_db: float
+    client_id: int
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+    started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.app_class not in APP_CLASSES:
+            raise ValueError(
+                f"unknown app class {self.app_class!r}; expected one of {APP_CLASSES}"
+            )
+
+    @property
+    def profile(self) -> AppProfile:
+        return DEFAULT_PROFILES[self.app_class]

@@ -1,0 +1,184 @@
+"""Synthetic per-class packet-trace generators.
+
+The paper replays captured traces: 30 s of a Skype video call
+(conferencing), a BBC page load (web) and YouTube HD streaming. Those
+captures are proprietary to the authors' lab, so each generator below
+synthesizes a seeded trace with the class's characteristic structure:
+
+- **conferencing** — near-CBR: a video frame every 33 ms (30 fps) whose
+  size jitters around the target bitrate, plus small audio packets,
+- **streaming** — ON/OFF chunked delivery: an initial buffer-filling
+  burst, then periodic chunk downloads at the media bitrate,
+- **web** — a handful of bursty object downloads over a few seconds,
+  heavy-tailed object sizes, then silence.
+
+What matters downstream is the per-class rate/burstiness contrast (it
+shapes the capacity region), not byte-exact fidelity to the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.traffic.flows import CONFERENCING, STREAMING, WEB
+from repro.traffic.packets import Packet, PacketTrace
+
+__all__ = [
+    "ConferencingTraceGenerator",
+    "StreamingTraceGenerator",
+    "WebTraceGenerator",
+    "generator_for_class",
+]
+
+_MTU = 1500
+
+
+def _packetize(rng, t: float, nbytes: int, flow_tag: int, spread_s: float):
+    """Split ``nbytes`` into MTU packets jittered across ``spread_s``."""
+    packets = []
+    remaining = int(nbytes)
+    while remaining > 0:
+        size = min(_MTU, remaining)
+        remaining -= size
+        offset = float(rng.uniform(0.0, spread_s)) if spread_s > 0 else 0.0
+        packets.append(Packet(t + offset, size, flow_tag))
+    return packets
+
+
+class ConferencingTraceGenerator:
+    """Skype/Hangouts-like one-way video call traffic."""
+
+    app_class = CONFERENCING
+
+    def __init__(
+        self,
+        bitrate_bps: float = 1.5e6,
+        fps: float = 30.0,
+        audio_interval_s: float = 0.02,
+        audio_bytes: int = 160,
+    ) -> None:
+        if bitrate_bps <= 0 or fps <= 0:
+            raise ValueError("bitrate and fps must be positive")
+        self.bitrate_bps = bitrate_bps
+        self.fps = fps
+        self.audio_interval_s = audio_interval_s
+        self.audio_bytes = audio_bytes
+
+    def generate(
+        self, duration_s: float, rng: np.random.Generator, flow_tag: int = 0
+    ) -> PacketTrace:
+        frame_interval = 1.0 / self.fps
+        mean_frame_bytes = self.bitrate_bps / 8.0 * frame_interval
+        packets = []
+        t = 0.0
+        while t < duration_s:
+            # I-frames every ~2 s are several times larger than P-frames.
+            is_iframe = rng.random() < frame_interval / 2.0
+            scale = 4.0 if is_iframe else 0.85
+            nbytes = max(200, int(rng.gamma(8.0, mean_frame_bytes * scale / 8.0)))
+            packets.extend(_packetize(rng, t, nbytes, flow_tag, frame_interval * 0.5))
+            t += frame_interval
+        t = 0.0
+        while t < duration_s:
+            packets.append(Packet(t, self.audio_bytes, flow_tag))
+            t += self.audio_interval_s
+        return PacketTrace(p for p in packets if p.timestamp < duration_s)
+
+
+class StreamingTraceGenerator:
+    """YouTube-like HD streaming: startup burst then chunked ON/OFF."""
+
+    app_class = STREAMING
+
+    def __init__(
+        self,
+        media_bitrate_bps: float = 4.0e6,
+        startup_buffer_s: float = 10.0,
+        chunk_duration_s: float = 5.0,
+        download_rate_factor: float = 3.0,
+    ) -> None:
+        if media_bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        self.media_bitrate_bps = media_bitrate_bps
+        self.startup_buffer_s = startup_buffer_s
+        self.chunk_duration_s = chunk_duration_s
+        self.download_rate_factor = download_rate_factor
+
+    def generate(
+        self, duration_s: float, rng: np.random.Generator, flow_tag: int = 0
+    ) -> PacketTrace:
+        packets = []
+        download_rate = self.media_bitrate_bps * self.download_rate_factor
+        # Startup: fill startup_buffer_s of media as fast as the server sends.
+        startup_bytes = self.media_bitrate_bps / 8.0 * self.startup_buffer_s
+        startup_time = startup_bytes * 8.0 / download_rate
+        t = 0.0
+        while t < min(startup_time, duration_s):
+            burst = download_rate / 8.0 * 0.05  # 50 ms server pacing quantum
+            packets.extend(_packetize(rng, t, int(burst), flow_tag, 0.05))
+            t += 0.05
+        # Steady state: one chunk per chunk_duration, downloaded fast.
+        t = startup_time
+        chunk_bytes = self.media_bitrate_bps / 8.0 * self.chunk_duration_s
+        while t < duration_s:
+            jitter = float(rng.uniform(0.9, 1.1))
+            packets.extend(
+                _packetize(rng, t, int(chunk_bytes * jitter), flow_tag,
+                           chunk_bytes * 8.0 / download_rate)
+            )
+            t += self.chunk_duration_s
+        return PacketTrace(p for p in packets if p.timestamp < duration_s)
+
+
+class WebTraceGenerator:
+    """BBC-like page load: bursty object fetches then silence."""
+
+    app_class = WEB
+
+    def __init__(
+        self,
+        page_bytes_mean: float = 2.2e6,
+        n_objects_mean: float = 40.0,
+        load_window_s: float = 3.0,
+        think_time_s: float = 8.0,
+    ) -> None:
+        self.page_bytes_mean = page_bytes_mean
+        self.n_objects_mean = n_objects_mean
+        self.load_window_s = load_window_s
+        self.think_time_s = think_time_s
+
+    def generate(
+        self, duration_s: float, rng: np.random.Generator, flow_tag: int = 0
+    ) -> PacketTrace:
+        packets = []
+        t = 0.0
+        while t < duration_s:
+            n_objects = max(3, int(rng.poisson(self.n_objects_mean)))
+            # Pareto-ish object sizes summing to roughly the page size.
+            sizes = rng.pareto(1.5, n_objects) + 1.0
+            sizes = sizes / sizes.sum() * self.page_bytes_mean
+            for size in sizes:
+                start = t + float(rng.uniform(0.0, self.load_window_s))
+                packets.extend(_packetize(rng, start, int(size), flow_tag, 0.1))
+            t += self.load_window_s + float(rng.exponential(self.think_time_s))
+        return PacketTrace(p for p in packets if p.timestamp < duration_s)
+
+
+_GENERATORS = {
+    WEB: WebTraceGenerator,
+    STREAMING: StreamingTraceGenerator,
+    CONFERENCING: ConferencingTraceGenerator,
+}
+
+
+def generator_for_class(app_class: str, **kwargs):
+    """Instantiate the default generator for an application class."""
+    try:
+        factory = _GENERATORS[app_class]
+    except KeyError:
+        raise ValueError(
+            f"unknown app class {app_class!r}; expected one of {sorted(_GENERATORS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,108 @@
+"""Packet and packet-trace containers.
+
+Stand-ins for the pcap traces the paper replays through ns-3 tap
+interfaces: a :class:`PacketTrace` is a time-ordered list of
+:class:`Packet` records that can be merged (multiple instances of an
+application), sliced, rescaled and summarized, mirroring what the paper
+does with tcpreplay.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = ["Packet", "PacketTrace"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet: arrival timestamp (s), size (bytes), flow tag."""
+
+    timestamp: float
+    size_bytes: int
+    flow_tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+
+class PacketTrace:
+    """Immutable, time-sorted sequence of packets."""
+
+    def __init__(self, packets: Iterable[Packet]) -> None:
+        pkts = sorted(packets, key=lambda p: p.timestamp)
+        self._packets: List[Packet] = pkts
+        self._times = [p.timestamp for p in pkts]
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, idx: int) -> Packet:
+        return self._packets[idx]
+
+    @property
+    def duration_s(self) -> float:
+        if not self._packets:
+            return 0.0
+        return self._times[-1] - self._times[0]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size_bytes for p in self._packets)
+
+    def mean_rate_bps(self) -> float:
+        """Average rate over the trace duration (0 for < 2 packets)."""
+        if len(self._packets) < 2 or self.duration_s == 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.duration_s
+
+    def window(self, start_s: float, end_s: float) -> "PacketTrace":
+        """Packets with ``start_s <= t < end_s``."""
+        if end_s < start_s:
+            raise ValueError("end must be >= start")
+        lo = bisect.bisect_left(self._times, start_s)
+        hi = bisect.bisect_left(self._times, end_s)
+        return PacketTrace(self._packets[lo:hi])
+
+    def shifted(self, offset_s: float) -> "PacketTrace":
+        """The same trace translated in time (tcpreplay-style)."""
+        return PacketTrace(
+            Packet(p.timestamp + offset_s, p.size_bytes, p.flow_tag)
+            for p in self._packets
+        )
+
+    def retagged(self, flow_tag: int) -> "PacketTrace":
+        """The same trace with every packet assigned ``flow_tag``."""
+        return PacketTrace(
+            Packet(p.timestamp, p.size_bytes, flow_tag) for p in self._packets
+        )
+
+    @staticmethod
+    def merge(traces: Sequence["PacketTrace"]) -> "PacketTrace":
+        """Time-merge several traces (the paper's multi-instance replay)."""
+        merged: List[Packet] = []
+        for trace in traces:
+            merged.extend(trace)
+        return PacketTrace(merged)
+
+    def rate_series(self, bin_s: float) -> List[float]:
+        """Per-bin offered rate in bit/s, for burstiness inspection."""
+        if bin_s <= 0:
+            raise ValueError("bin must be positive")
+        if not self._packets:
+            return []
+        start = self._times[0]
+        n_bins = int(self.duration_s / bin_s) + 1
+        bins = [0.0] * n_bins
+        for pkt in self._packets:
+            idx = min(int((pkt.timestamp - start) / bin_s), n_bins - 1)
+            bins[idx] += pkt.size_bytes * 8.0
+        return [b / bin_s for b in bins]

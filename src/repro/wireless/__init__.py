@@ -1,0 +1,57 @@
+"""Wireless PHY/MAC substrate.
+
+Provides the two levels of network model used by the reproduction:
+
+- packet-level models (:mod:`repro.wireless.wifi`,
+  :mod:`repro.wireless.lte`) running on the discrete-event engine, which
+  stand in for ns-3 in small scenes and validate the fluid model;
+- a fluid capacity-sharing model (:mod:`repro.wireless.fluid`) that
+  computes per-flow QoS for a whole traffic matrix in closed form, fast
+  enough for the paper's thousands-of-matrices parameter sweeps.
+"""
+
+from repro.wireless.channel import (
+    SnrBinner,
+    SnrLevel,
+    friis_snr_db,
+    log_distance_snr_db,
+)
+from repro.wireless.fluid import FluidLTECell, FluidWiFiCell, OfferedFlow
+from repro.wireless.dcf import DcfParameters, DcfResult, simulate_dcf
+from repro.wireless.mobility import CellGeometry, RandomWaypoint, TwoZoneHopper
+from repro.wireless.replay import replay_traces_lte, replay_traces_wifi
+from repro.wireless.wifi_uplink import UplinkStation, WifiUplinkCell
+from repro.wireless.phy import (
+    LTE_CQI_TABLE,
+    WIFI_MCS_TABLE,
+    lte_efficiency_for_cqi,
+    lte_cqi_for_snr,
+    wifi_rate_for_snr,
+)
+from repro.wireless.qos import FlowQoS
+
+__all__ = [
+    "CellGeometry",
+    "DcfParameters",
+    "DcfResult",
+    "FlowQoS",
+    "FluidLTECell",
+    "FluidWiFiCell",
+    "LTE_CQI_TABLE",
+    "OfferedFlow",
+    "RandomWaypoint",
+    "SnrBinner",
+    "SnrLevel",
+    "TwoZoneHopper",
+    "UplinkStation",
+    "WIFI_MCS_TABLE",
+    "WifiUplinkCell",
+    "friis_snr_db",
+    "log_distance_snr_db",
+    "lte_cqi_for_snr",
+    "lte_efficiency_for_cqi",
+    "replay_traces_lte",
+    "replay_traces_wifi",
+    "simulate_dcf",
+    "wifi_rate_for_snr",
+]

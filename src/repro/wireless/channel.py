@@ -1,0 +1,186 @@
+"""Channel models and SNR binning.
+
+ExBox characterizes each flow by the SNR *level* of its wireless link
+(Section 3): the continuous SNR range is split into ``r`` discrete bins.
+The paper found two levels (low/high) sufficient; the mixed-SNR
+simulation (Figure 13) places clients at ≈53 dB (high) or ≈23 dB (low).
+
+This module provides simple propagation models (log-distance path loss
+with optional log-normal shadowing) and the :class:`SnrBinner` that maps a
+continuous SNR to a level index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SnrBinner",
+    "SnrLevel",
+    "friis_snr_db",
+    "log_distance_snr_db",
+    "HIGH_SNR_DB",
+    "LOW_SNR_DB",
+]
+
+# Reference operating points from the paper's Figure 13 simulation setup.
+HIGH_SNR_DB = 53.0
+LOW_SNR_DB = 23.0
+
+# Thermal noise floor for a 20 MHz channel at room temperature, plus a
+# typical receiver noise figure.
+_NOISE_FLOOR_DBM_20MHZ = -101.0
+_NOISE_FIGURE_DB = 7.0
+
+
+def friis_snr_db(
+    tx_power_dbm: float,
+    distance_m: float,
+    frequency_hz: float = 5.0e9,
+    noise_dbm: float = _NOISE_FLOOR_DBM_20MHZ + _NOISE_FIGURE_DB,
+) -> float:
+    """Free-space SNR at ``distance_m`` from a transmitter.
+
+    Uses the Friis path-loss formula; suitable for short line-of-sight
+    links such as a phone next to an access point.
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    wavelength = 299792458.0 / frequency_hz
+    path_loss_db = 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength)
+    return tx_power_dbm - path_loss_db - noise_dbm
+
+
+def log_distance_snr_db(
+    tx_power_dbm: float,
+    distance_m: float,
+    exponent: float = 3.0,
+    reference_loss_db: float = 46.7,
+    reference_m: float = 1.0,
+    shadowing_sigma_db: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    noise_dbm: float = _NOISE_FLOOR_DBM_20MHZ + _NOISE_FIGURE_DB,
+) -> float:
+    """Indoor SNR via the log-distance model with optional shadowing.
+
+    ``PL(d) = PL(d0) + 10 n log10(d/d0) + X_sigma`` where ``X_sigma`` is a
+    zero-mean Gaussian in dB (log-normal shadowing).
+    """
+    if distance_m <= 0:
+        raise ValueError("distance must be positive")
+    path_loss_db = reference_loss_db + 10.0 * exponent * math.log10(
+        max(distance_m, reference_m) / reference_m
+    )
+    if shadowing_sigma_db > 0:
+        if rng is None:
+            raise ValueError("shadowing requires an rng")
+        path_loss_db += float(rng.normal(0.0, shadowing_sigma_db))
+    return tx_power_dbm - path_loss_db - noise_dbm
+
+
+@dataclass(frozen=True)
+class SnrLevel:
+    """One discrete SNR bin: index plus the representative SNR value."""
+
+    index: int
+    name: str
+    representative_db: float
+
+
+class SnrBinner:
+    """Maps continuous SNR (dB) to a discrete level index.
+
+    Parameters
+    ----------
+    boundaries_db:
+        Ascending bin boundaries. ``r = len(boundaries_db) + 1`` levels are
+        produced; level 0 is the lowest SNR.
+    names:
+        Optional level names; defaults to ``level0..levelN`` or
+        ``("low", "high")`` for the two-level case.
+    representatives_db:
+        Representative SNR per level, used when a simulation needs a
+        concrete SNR for a level (defaults to paper's 23/53 dB points for
+        two levels, otherwise bin midpoints with clamped extremes).
+    """
+
+    def __init__(
+        self,
+        boundaries_db: Sequence[float] = (38.0,),
+        names: Optional[Sequence[str]] = None,
+        representatives_db: Optional[Sequence[float]] = None,
+    ) -> None:
+        bounds = [float(b) for b in boundaries_db]
+        if sorted(bounds) != bounds:
+            raise ValueError("boundaries must be ascending")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("boundaries must be distinct")
+        self.boundaries_db = tuple(bounds)
+        n_levels = len(bounds) + 1
+
+        if names is None:
+            names = ("low", "high") if n_levels == 2 else tuple(
+                f"level{i}" for i in range(n_levels)
+            )
+        if len(names) != n_levels:
+            raise ValueError(f"expected {n_levels} names, got {len(names)}")
+
+        if representatives_db is None:
+            if n_levels == 2 and bounds == [38.0]:
+                representatives_db = (LOW_SNR_DB, HIGH_SNR_DB)
+            else:
+                reps = []
+                lo = bounds[0] - 15.0
+                for i in range(n_levels):
+                    left = bounds[i - 1] if i > 0 else lo
+                    right = bounds[i] if i < len(bounds) else bounds[-1] + 15.0
+                    reps.append(0.5 * (left + right))
+                representatives_db = tuple(reps)
+        if len(representatives_db) != n_levels:
+            raise ValueError(
+                f"expected {n_levels} representatives, got {len(representatives_db)}"
+            )
+
+        self.levels = tuple(
+            SnrLevel(index=i, name=names[i], representative_db=float(representatives_db[i]))
+            for i in range(n_levels)
+        )
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def level_index(self, snr_db: float) -> int:
+        """Index of the bin containing ``snr_db``."""
+        idx = 0
+        for bound in self.boundaries_db:
+            if snr_db >= bound:
+                idx += 1
+            else:
+                break
+        return idx
+
+    def level(self, snr_db: float) -> SnrLevel:
+        return self.levels[self.level_index(snr_db)]
+
+    def representative(self, index: int) -> float:
+        """Representative SNR (dB) for a level index."""
+        return self.levels[index].representative_db
+
+    @classmethod
+    def single_level(cls) -> "SnrBinner":
+        """Degenerate binner with one level (the paper's testbed setting,
+        where every phone sits at a high-SNR location)."""
+        binner = cls.__new__(cls)
+        binner.boundaries_db = ()
+        binner.levels = (SnrLevel(index=0, name="high", representative_db=HIGH_SNR_DB),)
+        return binner
+
+    @classmethod
+    def two_level(cls) -> "SnrBinner":
+        """The paper's default low/high split."""
+        return cls(boundaries_db=(38.0,))

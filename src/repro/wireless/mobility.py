@@ -1,0 +1,168 @@
+"""Client mobility models.
+
+Section 4.3 of the paper motivates flow re-evaluation with user
+mobility: a device admitted next to the AP may wander to a far corner,
+its SNR (and everyone's QoE) dropping with it. This module provides the
+position → SNR plumbing plus two standard mobility models:
+
+- :class:`RandomWaypoint` — pick a random destination in the cell, walk
+  there at a random speed, pause, repeat (the classic ns-2/ns-3 model);
+- :class:`TwoZoneHopper` — alternate between a near (high-SNR) and far
+  (low-SNR) zone with exponential dwell times, the abstraction used by
+  the paper's 2-level SNR experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.wireless.channel import log_distance_snr_db
+
+__all__ = ["CellGeometry", "RandomWaypoint", "TwoZoneHopper"]
+
+
+@dataclass(frozen=True)
+class CellGeometry:
+    """A circular cell: the AP/eNodeB at the origin, clients within
+    ``radius_m``. Converts positions to link SNR."""
+
+    radius_m: float = 40.0
+    tx_power_dbm: float = 20.0
+    path_loss_exponent: float = 3.0
+    min_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= self.min_distance_m:
+            raise ValueError("radius must exceed the minimum distance")
+
+    def snr_at(self, position: Tuple[float, float]) -> float:
+        """Link SNR (dB) for a client at ``position`` (metres)."""
+        distance = max(math.hypot(*position), self.min_distance_m)
+        return log_distance_snr_db(
+            self.tx_power_dbm, distance, exponent=self.path_loss_exponent
+        )
+
+    def random_position(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """Uniform position in the disc (area-correct sampling)."""
+        radius = self.radius_m * math.sqrt(float(rng.random()))
+        angle = 2.0 * math.pi * float(rng.random())
+        return (radius * math.cos(angle), radius * math.sin(angle))
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility inside a :class:`CellGeometry`.
+
+    Advance with :meth:`step`; query :attr:`position` / :meth:`snr_db`.
+    """
+
+    def __init__(
+        self,
+        cell: CellGeometry,
+        rng: np.random.Generator,
+        speed_range_mps: Tuple[float, float] = (0.5, 2.0),
+        pause_range_s: Tuple[float, float] = (0.0, 30.0),
+        start: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        lo, hi = speed_range_mps
+        if not 0 < lo <= hi:
+            raise ValueError("speed range must be positive and ordered")
+        self.cell = cell
+        self._rng = rng
+        self.speed_range_mps = speed_range_mps
+        self.pause_range_s = pause_range_s
+        self.position = start if start is not None else cell.random_position(rng)
+        self._target = cell.random_position(rng)
+        self._speed = self._draw_speed()
+        self._pause_left = 0.0
+
+    def _draw_speed(self) -> float:
+        lo, hi = self.speed_range_mps
+        return float(self._rng.uniform(lo, hi))
+
+    def _draw_pause(self) -> float:
+        lo, hi = self.pause_range_s
+        return float(self._rng.uniform(lo, hi))
+
+    def step(self, dt_s: float) -> Tuple[float, float]:
+        """Advance ``dt_s`` seconds; returns the new position."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        remaining = dt_s
+        while remaining > 0:
+            if self._pause_left > 0:
+                used = min(self._pause_left, remaining)
+                self._pause_left -= used
+                remaining -= used
+                continue
+            dx = self._target[0] - self.position[0]
+            dy = self._target[1] - self.position[1]
+            distance = math.hypot(dx, dy)
+            if distance < 1e-9:
+                self._pause_left = self._draw_pause()
+                self._target = self.cell.random_position(self._rng)
+                self._speed = self._draw_speed()
+                continue
+            reachable = self._speed * remaining
+            if reachable >= distance:
+                self.position = self._target
+                remaining -= distance / self._speed
+            else:
+                frac = reachable / distance
+                self.position = (
+                    self.position[0] + dx * frac,
+                    self.position[1] + dy * frac,
+                )
+                remaining = 0.0
+        return self.position
+
+    def snr_db(self) -> float:
+        return self.cell.snr_at(self.position)
+
+
+class TwoZoneHopper:
+    """Two-state mobility: near (high SNR) <-> far (low SNR).
+
+    Dwell times in each zone are exponential; this produces exactly the
+    SNR-level flips the paper's mixed-SNR evaluation and the
+    revalidation logic react to.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        high_snr_db: float = 53.0,
+        low_snr_db: float = 23.0,
+        mean_dwell_s: float = 300.0,
+        start_high: bool = True,
+    ) -> None:
+        if mean_dwell_s <= 0:
+            raise ValueError("dwell time must be positive")
+        self._rng = rng
+        self.high_snr_db = high_snr_db
+        self.low_snr_db = low_snr_db
+        self.mean_dwell_s = mean_dwell_s
+        self.in_high = start_high
+        self._time_left = float(rng.exponential(mean_dwell_s))
+        self.hops = 0
+
+    def step(self, dt_s: float) -> bool:
+        """Advance time; returns True when the zone changed."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        changed = False
+        remaining = dt_s
+        while remaining >= self._time_left:
+            remaining -= self._time_left
+            self.in_high = not self.in_high
+            self.hops += 1
+            changed = True
+            self._time_left = float(self._rng.exponential(self.mean_dwell_s))
+        self._time_left -= remaining
+        return changed
+
+    def snr_db(self) -> float:
+        return self.high_snr_db if self.in_high else self.low_snr_db

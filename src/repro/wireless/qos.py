@@ -1,0 +1,90 @@
+"""Per-flow QoS measurement containers.
+
+The paper models the scalar QoS of a flow as the ratio of average
+throughput to delay (Sections 2 and 5.3); :meth:`FlowQoS.scalar` follows
+that definition. Throughput is in bit/s, delay in seconds, loss as a
+fraction in [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["FlowQoS", "QosAccumulator"]
+
+
+@dataclass(frozen=True)
+class FlowQoS:
+    """Measured QoS of one flow over one observation window."""
+
+    throughput_bps: float
+    delay_s: float
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps < 0:
+            raise ValueError("throughput must be non-negative")
+        if self.delay_s <= 0:
+            raise ValueError("delay must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+
+    def scalar(self, throughput_scale_bps: float = 1.0e6) -> float:
+        """The paper's scalar QoS: average throughput over delay.
+
+        Throughput is expressed in ``throughput_scale_bps`` units (Mbit/s
+        by default) so that the QoS magnitude is comparable across
+        applications before IQX normalization.
+        """
+        return (self.throughput_bps / throughput_scale_bps) / self.delay_s
+
+    def degraded(self, rate_factor: float = 1.0, extra_delay_s: float = 0.0) -> "FlowQoS":
+        """A copy with throttled rate and/or added latency (netem-style)."""
+        if rate_factor <= 0:
+            raise ValueError("rate_factor must be positive")
+        return FlowQoS(
+            throughput_bps=self.throughput_bps * rate_factor,
+            delay_s=self.delay_s + extra_delay_s,
+            loss_rate=self.loss_rate,
+        )
+
+
+@dataclass
+class QosAccumulator:
+    """Accumulates per-packet observations into a :class:`FlowQoS`.
+
+    Used by the packet-level simulators: ``record(bits, delay)`` per
+    delivered packet, ``record_loss()`` per drop.
+    """
+
+    window_s: float
+    bits: float = 0.0
+    delays: List[float] = field(default_factory=list)
+    delivered: int = 0
+    lost: int = 0
+
+    def record(self, bits: float, delay_s: float) -> None:
+        if bits < 0 or delay_s < 0:
+            raise ValueError("bits and delay must be non-negative")
+        self.bits += bits
+        self.delays.append(delay_s)
+        self.delivered += 1
+
+    def record_loss(self) -> None:
+        self.lost += 1
+
+    def snapshot(self, min_delay_s: float = 1e-4) -> FlowQoS:
+        """Summarize the window; an idle flow reports zero throughput."""
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+        total = self.delivered + self.lost
+        loss = self.lost / total if total else 0.0
+        delay = (
+            sum(self.delays) / len(self.delays) if self.delays else min_delay_s
+        )
+        return FlowQoS(
+            throughput_bps=self.bits / self.window_s,
+            delay_s=max(delay, min_delay_s),
+            loss_rate=loss,
+        )

@@ -1,0 +1,195 @@
+"""Packet-level 802.11 access-point model on the discrete-event engine.
+
+Models the downlink of one WiFi cell the way the paper's ns-3 scenes do:
+
+- per-flow FIFO queues at the AP with a bounded depth (tail drop),
+- frame-by-frame channel access that is *transmission-opportunity fair*
+  (round-robin over backlogged flows), reproducing the 802.11 anomaly:
+  a frame to a low-SNR client occupies the channel for longer, so one
+  slow client inflates everyone's inter-service time,
+- per-frame MAC overhead (DIFS + backoff + preamble + SIFS + ACK) whose
+  expected value grows with the number of contending queues, standing in
+  for collision/backoff inflation.
+
+Use :meth:`WifiCell.run_constant_bitrate` for a self-contained experiment
+or wire arrivals manually via :meth:`WifiCell.enqueue`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from collections import deque
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.wireless.fluid import _residual_loss
+from repro.wireless.phy import wifi_rate_for_snr
+from repro.wireless.qos import FlowQoS, QosAccumulator
+
+__all__ = ["WifiCell", "WifiFlowConfig"]
+
+
+@dataclass(frozen=True)
+class WifiFlowConfig:
+    """Static description of one downlink flow through the cell."""
+
+    flow_id: int
+    snr_db: float
+    packet_bits: int = 1500 * 8
+
+
+@dataclass
+class _Queue:
+    config: WifiFlowConfig
+    phy_rate_bps: float
+    packets: Deque[float] = field(default_factory=deque)  # arrival timestamps
+    acc: Optional[QosAccumulator] = None
+
+
+class WifiCell:
+    """One 802.11n AP serving downlink flows.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator to run on.
+    base_delay_s:
+        Fixed path latency added to every delivered packet (wired
+        backhaul + processing), matching the paper's 30-40 ms idle RTT.
+    frame_overhead_s:
+        Expected channel time per frame beyond the payload, with one
+        contender.
+    contention_per_station:
+        Multiplicative overhead growth per extra backlogged queue.
+    queue_limit:
+        Per-flow queue depth in packets; arrivals beyond it are dropped.
+    rng:
+        Random stream for residual channel loss on marginal links;
+        omitting it disables channel loss (rate adaptation only), which
+        keeps legacy runs deterministic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_delay_s: float = 0.035,
+        frame_overhead_s: float = 130e-6,
+        contention_per_station: float = 0.012,
+        queue_limit: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.base_delay_s = base_delay_s
+        self.frame_overhead_s = frame_overhead_s
+        self.contention_per_station = contention_per_station
+        self.queue_limit = queue_limit
+        self.rng = rng
+        self._queues: Dict[int, _Queue] = {}
+        self._order: List[int] = []
+        self._rr_next = 0
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    # Flow / packet plumbing
+    # ------------------------------------------------------------------
+    def add_flow(self, config: WifiFlowConfig, measure_window_s: float) -> None:
+        if config.flow_id in self._queues:
+            raise ValueError(f"duplicate flow id {config.flow_id}")
+        self._queues[config.flow_id] = _Queue(
+            config=config,
+            phy_rate_bps=wifi_rate_for_snr(config.snr_db),
+            acc=QosAccumulator(window_s=measure_window_s),
+        )
+        self._order.append(config.flow_id)
+
+    def enqueue(self, flow_id: int) -> None:
+        """One packet arrives for ``flow_id`` at the current sim time."""
+        queue = self._queues[flow_id]
+        if len(queue.packets) >= self.queue_limit:
+            queue.acc.record_loss()
+            return
+        queue.packets.append(self.sim.now)
+        if not self._busy:
+            self._serve_next()
+
+    # ------------------------------------------------------------------
+    # Channel service (TXOP-fair round robin)
+    # ------------------------------------------------------------------
+    def _backlogged(self) -> List[int]:
+        return [fid for fid in self._order if self._queues[fid].packets]
+
+    def _serve_next(self) -> None:
+        backlogged = self._backlogged()
+        if not backlogged:
+            self._busy = False
+            return
+        self._busy = True
+        # Round-robin across backlogged queues starting after the last
+        # winner: every backlogged flow gets equal transmission turns.
+        n = len(self._order)
+        for offset in range(1, n + 1):
+            fid = self._order[(self._rr_next + offset) % n]
+            if self._queues[fid].packets:
+                self._rr_next = (self._rr_next + offset) % n
+                break
+        queue = self._queues[fid]
+        arrival = queue.packets.popleft()
+        bits = queue.config.packet_bits
+        overhead = self.frame_overhead_s * (
+            1.0 + self.contention_per_station * (len(backlogged) - 1)
+        )
+        tx_time = bits / queue.phy_rate_bps + overhead
+        deliver_at = self.sim.now + tx_time
+        # Marginal links corrupt some frames even at the lowest MCS; the
+        # retry limit eventually drops them (modelled as a single
+        # Bernoulli loss so airtime is still consumed).
+        lost = (
+            self.rng is not None
+            and self.rng.random() < _residual_loss(queue.config.snr_db)
+        )
+
+        def _delivered(fid=fid, arrival=arrival, bits=bits,
+                       deliver_at=deliver_at, lost=lost):
+            q = self._queues[fid]
+            if lost:
+                q.acc.record_loss()
+            else:
+                q.acc.record(bits, (deliver_at - arrival) + self.base_delay_s)
+            self._serve_next()
+
+        self.sim.schedule(tx_time, _delivered)
+
+    def snapshot(self) -> Dict[int, FlowQoS]:
+        """Per-flow QoS accumulated so far."""
+        return {fid: queue.acc.snapshot() for fid, queue in self._queues.items()}
+
+    # ------------------------------------------------------------------
+    # Convenience experiment driver
+    # ------------------------------------------------------------------
+    def run_constant_bitrate(
+        self,
+        offered: Sequence[tuple],
+        duration_s: float,
+    ) -> Dict[int, FlowQoS]:
+        """Drive each flow with CBR traffic and report per-flow QoS.
+
+        ``offered`` is a sequence of ``(WifiFlowConfig, demand_bps)``.
+        """
+        for config, _ in offered:
+            self.add_flow(config, measure_window_s=duration_s)
+        for config, demand_bps in offered:
+            interval = config.packet_bits / demand_bps
+
+            def _arrivals(fid=config.flow_id, interval=interval):
+                while True:
+                    self.enqueue(fid)
+                    yield interval
+
+            self.sim.spawn(_arrivals())
+        self.sim.run(until=duration_s)
+        return {
+            fid: queue.acc.snapshot() for fid, queue in self._queues.items()
+        }

@@ -1,0 +1,211 @@
+"""Packet-level uplink 802.11 model: stations genuinely contend.
+
+The downlink :class:`~repro.wireless.wifi.WifiCell` serializes the AP's
+own queue, so contention appears only as an overhead factor. Uplink
+traffic (conferencing video, uploads) is different: independent
+stations race for the channel with CSMA/CA, and simultaneous backoff
+expiry wastes the whole frame time. This cell models that directly on
+the DES engine:
+
+- each backlogged station holds a binary-exponential-backoff state,
+- when the channel frees, every backlogged station draws/resumes its
+  backoff; the earliest expiry transmits, ties collide,
+- collisions consume a full frame time, double the colliders' CW and
+  leave the frame queued (up to a retry limit, then it drops).
+
+The slotted Monte Carlo in :mod:`repro.wireless.dcf` studies saturation
+throughput in isolation; this cell integrates the same mechanics with
+real arrival processes and per-flow QoS accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.engine import Simulator
+from repro.wireless.phy import wifi_rate_for_snr
+from repro.wireless.qos import FlowQoS, QosAccumulator
+
+__all__ = ["UplinkStation", "WifiUplinkCell"]
+
+SLOT_S = 9e-6
+DIFS_S = 34e-6
+
+
+@dataclass(frozen=True)
+class UplinkStation:
+    """Static description of one transmitting station."""
+
+    station_id: int
+    snr_db: float
+    packet_bits: int = 1500 * 8
+
+
+@dataclass
+class _StationState:
+    config: UplinkStation
+    phy_rate_bps: float
+    packets: Deque[float] = field(default_factory=deque)
+    cw: int = 15
+    backoff_slots: int = -1  # -1 = needs a fresh draw
+    retries: int = 0
+    acc: Optional[QosAccumulator] = None
+
+
+class WifiUplinkCell:
+    """Contention-based uplink of one 802.11 BSS.
+
+    Parameters
+    ----------
+    sim, rng:
+        DES engine and the randomness for backoff draws.
+    cw_min / cw_max / retry_limit:
+        Standard DCF backoff parameters.
+    base_delay_s:
+        Fixed upstream path latency added to each delivery.
+    queue_limit:
+        Per-station queue depth; overflowing arrivals drop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        cw_min: int = 15,
+        cw_max: int = 1023,
+        retry_limit: int = 7,
+        frame_overhead_s: float = 60e-6,
+        base_delay_s: float = 0.035,
+        queue_limit: int = 200,
+    ) -> None:
+        if cw_min < 1 or cw_max < cw_min:
+            raise ValueError("need 1 <= cw_min <= cw_max")
+        if retry_limit < 1:
+            raise ValueError("retry_limit must be >= 1")
+        self.sim = sim
+        self.rng = rng
+        self.cw_min = cw_min
+        self.cw_max = cw_max
+        self.retry_limit = retry_limit
+        self.frame_overhead_s = frame_overhead_s
+        self.base_delay_s = base_delay_s
+        self.queue_limit = queue_limit
+        self._stations: Dict[int, _StationState] = {}
+        self._busy = False
+        self.collisions = 0
+        self.successes = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def add_station(self, config: UplinkStation, measure_window_s: float) -> None:
+        if config.station_id in self._stations:
+            raise ValueError(f"duplicate station id {config.station_id}")
+        self._stations[config.station_id] = _StationState(
+            config=config,
+            phy_rate_bps=wifi_rate_for_snr(config.snr_db),
+            cw=self.cw_min,
+            acc=QosAccumulator(window_s=measure_window_s),
+        )
+
+    def enqueue(self, station_id: int) -> None:
+        """One uplink packet ready at ``station_id`` now."""
+        station = self._stations[station_id]
+        if len(station.packets) >= self.queue_limit:
+            station.acc.record_loss()
+            return
+        station.packets.append(self.sim.now)
+        if not self._busy:
+            self._contend()
+
+    # ------------------------------------------------------------------
+    # CSMA/CA
+    # ------------------------------------------------------------------
+    def _backlogged(self) -> List[_StationState]:
+        return [s for s in self._stations.values() if s.packets]
+
+    def _contend(self) -> None:
+        contenders = self._backlogged()
+        if not contenders:
+            self._busy = False
+            return
+        self._busy = True
+        for station in contenders:
+            if station.backoff_slots < 0:
+                station.backoff_slots = int(self.rng.integers(0, station.cw + 1))
+        winner_slots = min(s.backoff_slots for s in contenders)
+        winners = [s for s in contenders if s.backoff_slots == winner_slots]
+        for station in contenders:
+            station.backoff_slots -= winner_slots  # freeze residual backoff
+        wait = DIFS_S + winner_slots * SLOT_S
+        if len(winners) == 1:
+            self.sim.schedule(wait, lambda s=winners[0]: self._transmit(s))
+        else:
+            self.sim.schedule(wait, lambda ws=winners: self._collide(ws))
+
+    def _transmit(self, station: _StationState) -> None:
+        arrival = station.packets.popleft()
+        bits = station.config.packet_bits
+        tx_time = bits / station.phy_rate_bps + self.frame_overhead_s
+        station.cw = self.cw_min
+        station.retries = 0
+        station.backoff_slots = -1
+        self.successes += 1
+
+        def _delivered():
+            station.acc.record(bits, (self.sim.now - arrival) + self.base_delay_s)
+            self._contend()
+
+        self.sim.schedule(tx_time, _delivered)
+
+    def _collide(self, winners: Sequence[_StationState]) -> None:
+        self.collisions += 1
+        # All colliders burn a full frame time, then back off harder.
+        longest = max(
+            s.config.packet_bits / s.phy_rate_bps for s in winners
+        ) + self.frame_overhead_s
+        for station in winners:
+            station.retries += 1
+            if station.retries > self.retry_limit:
+                station.packets.popleft()
+                station.acc.record_loss()
+                station.retries = 0
+                station.cw = self.cw_min
+            else:
+                station.cw = min(2 * station.cw + 1, self.cw_max)
+            station.backoff_slots = -1
+        self.sim.schedule(longest, self._contend)
+
+    # ------------------------------------------------------------------
+    # Experiment driver
+    # ------------------------------------------------------------------
+    def run_constant_bitrate(
+        self,
+        offered: Sequence[tuple],
+        duration_s: float,
+    ) -> Dict[int, FlowQoS]:
+        """Drive each station with CBR traffic; per-station QoS."""
+        for config, _ in offered:
+            self.add_station(config, measure_window_s=duration_s)
+        for config, demand_bps in offered:
+            interval = config.packet_bits / demand_bps
+
+            def _arrivals(sid=config.station_id, interval=interval):
+                while True:
+                    self.enqueue(sid)
+                    yield interval
+
+            self.sim.spawn(_arrivals())
+        self.sim.run(until=duration_s)
+        return {
+            sid: state.acc.snapshot() for sid, state in self._stations.items()
+        }
+
+    @property
+    def collision_rate(self) -> float:
+        attempts = self.successes + self.collisions
+        return self.collisions / attempts if attempts else 0.0

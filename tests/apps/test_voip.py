@@ -1,0 +1,78 @@
+"""Tests for the VoIP E-model."""
+
+import pytest
+
+from repro.apps.voip import (
+    MOS_THRESHOLD,
+    VOIP_DEMAND_BPS,
+    VoipApp,
+    mos_from_r_factor,
+    r_factor,
+)
+from repro.wireless.qos import FlowQoS
+
+
+class TestRFactor:
+    def test_clean_call_near_r0(self):
+        assert r_factor(0.02, 0.0) == pytest.approx(93.2 - 0.48, abs=0.01)
+
+    def test_delay_impairment_kicks_in_past_knee(self):
+        # Past 177 ms the impairment slope steepens drastically: the
+        # same +50 ms costs far more R above the knee than below it.
+        drop_below = r_factor(0.100, 0.0) - r_factor(0.150, 0.0)
+        drop_above = r_factor(0.200, 0.0) - r_factor(0.250, 0.0)
+        assert drop_above > 3 * drop_below
+
+    def test_loss_impairment_monotone(self):
+        values = [r_factor(0.05, p) for p in (0.0, 0.01, 0.05, 0.2)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            r_factor(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            r_factor(0.1, 1.5)
+
+
+class TestMosMapping:
+    def test_extremes(self):
+        assert mos_from_r_factor(-5.0) == 1.0
+        assert mos_from_r_factor(150.0) == 4.5
+
+    def test_monotone(self):
+        values = [mos_from_r_factor(r) for r in range(0, 101, 10)]
+        assert values == sorted(values)
+
+    def test_known_anchor(self):
+        # R=70 is the conventional "some users dissatisfied" line (~3.6).
+        assert mos_from_r_factor(70.0) == pytest.approx(3.6, abs=0.05)
+
+
+class TestVoipApp:
+    def test_clean_network_satisfied(self):
+        app = VoipApp()
+        mos = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.04))
+        assert mos >= MOS_THRESHOLD
+
+    def test_loss_degrades(self):
+        app = VoipApp()
+        clean = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.04))
+        lossy = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.04, loss_rate=0.05))
+        assert lossy < clean
+
+    def test_delay_degrades(self):
+        app = VoipApp()
+        fast = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.04))
+        slow = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.5))
+        assert slow < fast - 0.5
+
+    def test_starvation_acts_like_loss(self):
+        app = VoipApp()
+        starved = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS * 0.6, 0.04))
+        full = app.measure_qoe(FlowQoS(VOIP_DEMAND_BPS, 0.04))
+        assert starved < full - 1.0
+
+    def test_mos_bounds(self):
+        app = VoipApp()
+        dead = app.measure_qoe(FlowQoS(1.0, 2.0, loss_rate=0.9))
+        assert 1.0 <= dead <= 4.5

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoe_estimator import QoEEstimator
+from repro.testbed.lte_testbed import LTETestbed
+from repro.testbed.wifi_testbed import WiFiTestbed
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def wifi_testbed():
+    return WiFiTestbed()
+
+
+@pytest.fixture
+def lte_testbed():
+    return LTETestbed()
+
+
+@pytest.fixture(scope="session")
+def estimator():
+    """A session-scoped trained QoE estimator (IQX fitting is not free)."""
+    est = QoEEstimator()
+    est.train_from_device(rng=np.random.default_rng(99), runs_per_point=3)
+    return est

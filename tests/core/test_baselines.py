@@ -1,0 +1,91 @@
+"""Tests for the RateBased and MaxClient baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    MaxClientAdmission,
+    NOMINAL_CLASS_RATES_BPS,
+    RateBasedAdmission,
+)
+from repro.traffic.arrival import FlowEvent
+from repro.traffic.flows import APP_CLASSES, STREAMING, WEB
+
+
+def _event(matrix, cls_idx, level=0, n_levels=1):
+    return FlowEvent(matrix_before=matrix, app_class_index=cls_idx, snr_level=level)
+
+
+class TestRateBased:
+    def test_admits_when_capacity_left(self):
+        scheme = RateBasedAdmission(capacity_bps=10e6)
+        # 2 web committed = 1 Mbps; a streaming flow (2.5) fits.
+        assert scheme.decide(_event((2, 0, 0), 1)) == 1
+
+    def test_rejects_when_capacity_exhausted(self):
+        scheme = RateBasedAdmission(capacity_bps=5e6)
+        # 2 streaming committed = 5 Mbps; nothing else fits.
+        assert scheme.decide(_event((0, 2, 0), 1)) == -1
+
+    def test_boundary_exact_fit_admits(self):
+        scheme = RateBasedAdmission(capacity_bps=5e6)
+        # 1 streaming committed (2.5); another 2.5 exactly fits.
+        assert scheme.decide(_event((0, 1, 0), 1)) == 1
+
+    def test_uses_nominal_rates_by_default(self):
+        scheme = RateBasedAdmission(capacity_bps=10e6)
+        assert scheme.class_rates_bps == {
+            cls: NOMINAL_CLASS_RATES_BPS[cls] for cls in APP_CLASSES
+        }
+
+    def test_custom_rates(self):
+        scheme = RateBasedAdmission(
+            capacity_bps=10e6, class_rates_bps={WEB: 5e6, STREAMING: 5e6, "conferencing": 5e6}
+        )
+        assert scheme.decide(_event((1, 0, 0), 0)) == 1
+        assert scheme.decide(_event((2, 0, 0), 0)) == -1
+
+    def test_sums_across_snr_levels(self):
+        scheme = RateBasedAdmission(capacity_bps=2e6)
+        # 2 web at two SNR levels = 1 Mbps committed; 1.0 conferencing fits.
+        event = FlowEvent(
+            matrix_before=(1, 1, 0, 0, 0, 0), app_class_index=2, snr_level=0
+        )
+        assert scheme.decide(event) == 1
+
+    def test_ignores_feedback(self):
+        scheme = RateBasedAdmission(capacity_bps=10e6)
+        event = _event((0, 0, 0), 0)
+        before = scheme.decide(event)
+        scheme.observe(event, -1)
+        assert scheme.decide(event) == before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateBasedAdmission(capacity_bps=0.0)
+        with pytest.raises(ValueError):
+            RateBasedAdmission(capacity_bps=1e6, class_rates_bps={WEB: 1.0})
+
+
+class TestMaxClient:
+    def test_admits_below_limit(self):
+        scheme = MaxClientAdmission(max_clients=3)
+        assert scheme.decide(_event((1, 1, 0), 0)) == 1
+
+    def test_rejects_at_limit(self):
+        scheme = MaxClientAdmission(max_clients=3)
+        assert scheme.decide(_event((1, 1, 1), 0)) == -1
+
+    def test_boundary_inclusive(self):
+        scheme = MaxClientAdmission(max_clients=3)
+        assert scheme.decide(_event((1, 1, 0), 0)) == 1  # becomes exactly 3
+
+    def test_counts_all_levels(self):
+        scheme = MaxClientAdmission(max_clients=2)
+        event = FlowEvent(
+            matrix_before=(1, 1, 0, 0, 0, 0), app_class_index=0, snr_level=0
+        )
+        assert scheme.decide(event) == -1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxClientAdmission(max_clients=0)

@@ -1,0 +1,139 @@
+"""Tests for the ExBox middlebox facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.admittance import AdmittanceClassifier, Phase
+from repro.core.exbox import ExBox
+from repro.classification.classifier import FlowClassifier
+from repro.testbed.wifi_testbed import WiFiTestbed
+from repro.traffic.flows import FlowRequest, STREAMING, WEB
+from repro.traffic.generators import generator_for_class
+
+
+@pytest.fixture
+def exbox(estimator):
+    box = ExBox.with_defaults(batch_size=10)
+    box.qoe_estimator = estimator
+    return box
+
+
+def _drive_bootstrap(box, testbed, rng, n=60):
+    """Run arrivals through bootstrap using testbed measurements."""
+    from repro.traffic.flows import APP_CLASSES
+
+    for i in range(n):
+        if box.admittance.is_online:
+            break
+        cls = APP_CLASSES[int(rng.integers(3))]
+        decision = box.handle_arrival(FlowRequest(client_id=i, app_class=cls))
+        specs = [(f.app_class, f.snr_db) for f in box.active_flows]
+        run = testbed.run_flows(specs[: testbed.max_clients], rng=rng)
+        box.report_outcome(decision, run)
+        # Randomly retire flows to keep the matrix within testbed size.
+        while len(box.active_flows) > 5:
+            box.handle_departure(box.active_flows[0])
+
+
+class TestArrivalHandling:
+    def test_bootstrap_admits_everything(self, exbox):
+        decision = exbox.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        assert decision.admitted
+        assert decision.phase is Phase.BOOTSTRAP
+        assert decision.flow is not None
+        assert exbox.current_matrix.total_flows == 1
+
+    def test_departure_updates_matrix(self, exbox):
+        decision = exbox.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        exbox.handle_departure(decision.flow)
+        assert exbox.current_matrix.total_flows == 0
+
+    def test_departure_of_unknown_flow_raises(self, exbox):
+        from repro.traffic.flows import Flow
+
+        with pytest.raises(KeyError):
+            exbox.handle_departure(Flow(app_class=WEB, snr_db=53.0, client_id=9))
+
+    def test_unclassified_without_classifier_raises(self, exbox):
+        with pytest.raises(ValueError):
+            exbox.handle_arrival(FlowRequest(client_id=1))
+
+    def test_classifier_resolves_app_class(self, estimator):
+        rng = np.random.default_rng(31)
+        box = ExBox.with_defaults(batch_size=10)
+        box.qoe_estimator = estimator
+        box.flow_classifier = FlowClassifier.train_synthetic(
+            rng, flows_per_class=10, trace_duration_s=12.0
+        )
+        packets = list(generator_for_class(STREAMING).generate(12.0, rng))
+        decision = box.handle_arrival(FlowRequest(client_id=1), packets=packets)
+        assert decision.app_class in ("web", "streaming", "conferencing")
+
+    def test_learning_loop_reaches_online(self, exbox):
+        rng = np.random.default_rng(32)
+        testbed = WiFiTestbed()
+        _drive_bootstrap(exbox, testbed, rng, n=120)
+        assert exbox.admittance.is_online
+
+    def test_online_rejection_applies_policy(self, estimator):
+        box = ExBox.with_defaults(
+            batch_size=10, min_bootstrap_samples=30, max_bootstrap_samples=60
+        )
+        box.qoe_estimator = estimator
+        rng = np.random.default_rng(33)
+        testbed = WiFiTestbed()
+        _drive_bootstrap(box, testbed, rng, n=120)
+        # Fill the cell well beyond capacity and ask for one more flow.
+        for i in range(8):
+            box.handle_arrival(FlowRequest(client_id=100 + i, app_class=STREAMING))
+        decision = box.handle_arrival(FlowRequest(client_id=200, app_class=WEB))
+        if not decision.admitted:
+            assert decision.policy_outcome is not None
+            assert box.policy.log
+
+
+class TestDynamics:
+    def test_update_flow_snr_moves_matrix_slot(self, estimator):
+        box = ExBox.with_defaults(batch_size=10, n_snr_levels=2)
+        box.qoe_estimator = estimator
+        decision = box.handle_arrival(
+            FlowRequest(client_id=1, app_class=WEB, snr_db=53.0)
+        )
+        assert box.current_matrix.counts[1] == 1  # web high
+        box.update_flow_snr(decision.flow, 20.0)
+        assert box.current_matrix.counts[0] == 1  # web low
+        assert box.current_matrix.counts[1] == 0
+
+    def test_poll_network_noop_in_bootstrap(self, exbox):
+        exbox.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        result = exbox.poll_network()
+        assert result.checked == 0
+        assert exbox.current_matrix.total_flows == 1
+
+    def test_poll_network_removes_revoked(self, estimator):
+        box = ExBox.with_defaults(
+            batch_size=10, min_bootstrap_samples=30, max_bootstrap_samples=60
+        )
+        box.qoe_estimator = estimator
+        rng = np.random.default_rng(34)
+        testbed = WiFiTestbed()
+        _drive_bootstrap(box, testbed, rng, n=120)
+        for flow in list(box.active_flows):
+            box.handle_departure(flow)
+        # Cram the cell during online phase (classifier may reject some).
+        for i in range(9):
+            box.handle_arrival(FlowRequest(client_id=i, app_class=STREAMING))
+        before = len(box.active_flows)
+        result = box.poll_network()
+        assert len(box.active_flows) == before - len(result.revoked)
+
+    def test_excr_view_available_online(self, estimator):
+        box = ExBox.with_defaults(
+            batch_size=10, min_bootstrap_samples=30, max_bootstrap_samples=60
+        )
+        box.qoe_estimator = estimator
+        rng = np.random.default_rng(35)
+        _drive_bootstrap(box, WiFiTestbed(), rng, n=120)
+        region = box.excr
+        profile = region.boundary_profile(app_class_index=0, max_count=12)
+        assert 0 <= profile <= 12

@@ -1,0 +1,108 @@
+"""Tests for the multi-cell ExBox fleet (Sections 4.1/4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fleet import ExBoxFleet
+from repro.traffic.flows import FlowRequest, STREAMING, WEB
+
+
+def _train_cell(exbox, max_total, seed):
+    rng = np.random.default_rng(seed)
+    clf = exbox.admittance
+    while not clf.is_online:
+        total = int(rng.integers(0, 2 * max_total + 1))
+        counts = rng.multinomial(total, [1 / 3] * 3).astype(float)
+        x = np.append(counts, float(rng.integers(0, 3)))
+        clf.observe_bootstrap(x, 1 if counts.sum() <= max_total else -1)
+
+
+@pytest.fixture
+def fleet(estimator):
+    fleet = ExBoxFleet(qoe_estimator=estimator)
+    for name, max_total, seed in (("ap-1", 4, 1), ("ap-2", 4, 2)):
+        exbox = fleet.add_cell(
+            name, batch_size=20, min_bootstrap_samples=150,
+            max_bootstrap_samples=200, cv_threshold=0.9,
+        )
+        _train_cell(exbox, max_total, seed)
+    return fleet
+
+
+class TestTopology:
+    def test_cells_registered(self, fleet):
+        assert set(fleet.cells) == {"ap-1", "ap-2"}
+        assert set(fleet.online_cells()) == {"ap-1", "ap-2"}
+
+    def test_duplicate_cell_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.add_cell("ap-1")
+
+    def test_unknown_cell_raises(self, fleet):
+        with pytest.raises(KeyError):
+            fleet.cell("nope")
+
+    def test_shared_qoe_estimator(self, estimator):
+        # Section 4.4: one IQX training effort serves every cell.
+        fleet = ExBoxFleet(qoe_estimator=estimator)
+        a = fleet.add_cell("a")
+        b = fleet.add_cell("b")
+        assert a.qoe_estimator is b.qoe_estimator is estimator
+
+
+class TestPlacement:
+    def test_flow_lands_somewhere_when_empty(self, fleet):
+        result = fleet.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        assert result.admitted
+        assert result.cell in ("ap-1", "ap-2")
+        assert fleet.total_active_flows() == 1
+
+    def test_prefers_emptier_cell(self, fleet):
+        # Pre-load ap-1 near its boundary.
+        for i in range(3):
+            fleet.cell("ap-1").handle_arrival(
+                FlowRequest(client_id=i, app_class=STREAMING)
+            )
+        result = fleet.handle_arrival(FlowRequest(client_id=9, app_class=WEB))
+        assert result.cell == "ap-2"
+        assert result.margins["ap-2"] > result.margins["ap-1"]
+
+    def test_blocks_when_everything_full(self, fleet):
+        for name in fleet.cells:
+            for i in range(5):
+                fleet.cell(name).handle_arrival(
+                    FlowRequest(client_id=i, app_class=STREAMING)
+                )
+        result = fleet.handle_arrival(FlowRequest(client_id=9, app_class=STREAMING))
+        assert result.cell is None
+        assert not result.admitted
+
+    def test_candidate_restriction(self, fleet):
+        result = fleet.handle_arrival(
+            FlowRequest(client_id=1, app_class=WEB), candidate_cells=("ap-2",)
+        )
+        assert result.cell == "ap-2"
+
+    def test_departure_returns_capacity(self, fleet):
+        result = fleet.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        flow = result.decision.flow
+        assert fleet.home_of(flow) == result.cell
+        fleet.handle_departure(flow)
+        assert fleet.total_active_flows() == 0
+        assert fleet.home_of(flow) is None
+
+    def test_unplaced_departure_raises(self, fleet):
+        from repro.traffic.flows import Flow
+
+        with pytest.raises(KeyError):
+            fleet.handle_departure(Flow(app_class=WEB, snr_db=53.0, client_id=1))
+
+    def test_unclassified_request_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            fleet.handle_arrival(FlowRequest(client_id=1))
+
+    def test_bootstrapping_cell_attracts_flows(self, estimator):
+        fleet = ExBoxFleet(qoe_estimator=estimator)
+        fleet.add_cell("fresh")  # never bootstrapped: admits everything
+        result = fleet.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        assert result.cell == "fresh"

@@ -1,0 +1,49 @@
+"""Tests for admittance policies."""
+
+import pytest
+
+from repro.core.policies import AdmittancePolicy, PolicyAction
+from repro.traffic.flows import Flow, WEB
+
+
+def _flow():
+    return Flow(app_class=WEB, snr_db=53.0, client_id=1)
+
+
+class TestAdmittancePolicy:
+    def test_default_drops(self):
+        policy = AdmittancePolicy()
+        outcome = policy.reject(_flow())
+        assert outcome.action is PolicyAction.DROP
+        assert outcome.target_network is None
+        assert outcome.user_notified
+
+    def test_offload_requires_target(self):
+        with pytest.raises(ValueError):
+            AdmittancePolicy(on_reject=PolicyAction.OFFLOAD)
+
+    def test_offload_carries_target(self):
+        policy = AdmittancePolicy(
+            on_reject=PolicyAction.OFFLOAD, offload_target="lte-cell-1"
+        )
+        outcome = policy.reject(_flow())
+        assert outcome.action is PolicyAction.OFFLOAD
+        assert outcome.target_network == "lte-cell-1"
+
+    def test_revoke_uses_its_own_action(self):
+        policy = AdmittancePolicy(
+            on_reject=PolicyAction.DROP,
+            on_revoke=PolicyAction.LOW_PRIORITY,
+        )
+        assert policy.revoke(_flow()).action is PolicyAction.LOW_PRIORITY
+        assert policy.reject(_flow()).action is PolicyAction.DROP
+
+    def test_log_accumulates(self):
+        policy = AdmittancePolicy()
+        policy.reject(_flow())
+        policy.revoke(_flow())
+        assert len(policy.log) == 2
+
+    def test_notification_flag(self):
+        policy = AdmittancePolicy(notify_user=False)
+        assert not policy.reject(_flow()).user_notified

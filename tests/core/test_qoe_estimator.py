@@ -1,0 +1,91 @@
+"""Tests for the network-side QoE estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.qoe_estimator import QoEEstimator
+from repro.qoe.iqx import IQXModel
+from repro.testbed.controller import FlowRecord, MatrixRun
+from repro.traffic.flows import APP_CLASSES, CONFERENCING, STREAMING, WEB
+from repro.wireless.qos import FlowQoS
+
+HEALTHY = FlowQoS(throughput_bps=8e6, delay_s=0.035)
+STARVED = FlowQoS(throughput_bps=0.2e6, delay_s=0.25)
+
+
+def _run(records):
+    return MatrixRun(records=tuple(records))
+
+
+def _record(app_class, qos):
+    return FlowRecord(
+        flow_id=0, app_class=app_class, snr_db=53.0, snr_level=0,
+        qos=qos, qoe=0.0, acceptable=True,
+    )
+
+
+class TestTraining:
+    def test_train_from_device_fits_all_classes(self, estimator):
+        assert set(estimator.trained_classes) == set(APP_CLASSES)
+
+    def test_models_have_finite_rmse(self, estimator):
+        for cls in APP_CLASSES:
+            assert np.isfinite(estimator.model_for(cls).rmse)
+
+    def test_untrained_class_raises(self):
+        with pytest.raises(RuntimeError):
+            QoEEstimator().model_for(WEB)
+
+    def test_fit_class_requires_known_threshold(self):
+        with pytest.raises(ValueError):
+            QoEEstimator(thresholds={}).fit_class(WEB, [(1.0, 1.0)] * 5)
+
+    def test_set_model_shares_across_cells(self):
+        # Section 4.4: IQX models can be shared between networks.
+        estimator = QoEEstimator()
+        model = IQXModel(alpha=1.0, beta=5.0, gamma=2.0, qos_lo=0.1, qos_hi=100.0)
+        estimator.set_model(WEB, model)
+        assert estimator.model_for(WEB) is model
+
+
+class TestEstimation:
+    def test_healthy_flow_labels_positive(self, estimator):
+        for cls in APP_CLASSES:
+            assert estimator.label_flow(cls, HEALTHY) == 1
+
+    def test_starved_flow_labels_negative(self, estimator):
+        for cls in APP_CLASSES:
+            assert estimator.label_flow(cls, STARVED) == -1
+
+    def test_estimate_direction(self, estimator):
+        # Web: PLT must worsen (grow) as QoS degrades.
+        assert estimator.estimate_qoe(WEB, STARVED) > estimator.estimate_qoe(
+            WEB, HEALTHY
+        )
+        # Conferencing: PSNR must drop as QoS degrades.
+        assert estimator.estimate_qoe(CONFERENCING, STARVED) < estimator.estimate_qoe(
+            CONFERENCING, HEALTHY
+        )
+
+    def test_matrix_label_is_conjunction(self, estimator):
+        good = _run([_record(WEB, HEALTHY), _record(STREAMING, HEALTHY)])
+        mixed = _run([_record(WEB, HEALTHY), _record(STREAMING, STARVED)])
+        assert estimator.label_matrix_run(good) == 1
+        assert estimator.label_matrix_run(mixed) == -1
+
+    def test_empty_run_acceptable(self, estimator):
+        assert estimator.label_matrix_run(_run([])) == 1
+
+    def test_threshold_accessor(self, estimator):
+        assert estimator.threshold_for(WEB).value == 3.0
+
+    def test_estimates_track_truth_on_testbed(self, estimator, wifi_testbed):
+        # Network-side estimates should agree with client ground truth
+        # for a clear-cut good and a clear-cut bad matrix.
+        rng = np.random.default_rng(5)
+        light = wifi_testbed.run_flows([(WEB, 53.0)], rng=rng)
+        heavy = wifi_testbed.run_flows(
+            [(WEB, 53.0)] * 4 + [(STREAMING, 53.0)] * 4, rng=rng
+        )
+        assert estimator.label_matrix_run(light) == light.label == 1
+        assert estimator.label_matrix_run(heavy) == heavy.label == -1

@@ -1,0 +1,90 @@
+"""Tests for multi-cell network selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.admittance import AdmittanceClassifier
+from repro.core.excr import TrafficMatrix
+from repro.core.selection import NetworkSelector
+
+
+def _online_classifier(max_total, seed=0):
+    """A classifier trained on the rule 'total flows <= max_total'.
+
+    The training stream is balanced around the boundary (totals drawn
+    uniformly on both sides) so the learned surface is trustworthy.
+    """
+    rng = np.random.default_rng(seed)
+    clf = AdmittanceClassifier(
+        batch_size=20, min_bootstrap_samples=150, max_bootstrap_samples=200,
+        cv_threshold=0.9,
+    )
+    while not clf.is_online:
+        total = int(rng.integers(0, 2 * max_total + 1))
+        counts = rng.multinomial(total, [1 / 3] * 3).astype(float)
+        cls = float(rng.integers(0, 3))
+        x = np.append(counts, cls)
+        y = 1 if counts.sum() <= max_total else -1
+        clf.observe_bootstrap(x, y)
+    return clf
+
+
+class TestNetworkSelector:
+    def test_selects_emptier_cell(self):
+        selector = NetworkSelector()
+        selector.add_cell("wifi", _online_classifier(5, seed=1))
+        selector.add_cell("lte", _online_classifier(5, seed=2))
+        selector.update_matrix("wifi", TrafficMatrix.from_class_counts((4, 1, 0)))
+        selector.update_matrix("lte", TrafficMatrix.from_class_counts((0, 0, 0)))
+        result = selector.select(app_class_index=0)
+        assert result.network == "lte"
+        assert result.admissible["lte"]
+
+    def test_none_when_everything_full(self):
+        selector = NetworkSelector()
+        selector.add_cell("wifi", _online_classifier(3, seed=3))
+        selector.update_matrix("wifi", TrafficMatrix.from_class_counts((5, 5, 5)))
+        result = selector.select(app_class_index=0)
+        assert result.network is None
+        assert not result.admissible["wifi"]
+
+    def test_bootstrapping_cell_admits_everything(self):
+        selector = NetworkSelector()
+        selector.add_cell("fresh", AdmittanceClassifier())
+        result = selector.select(app_class_index=1)
+        assert result.network == "fresh"
+        assert result.margins["fresh"] == 0.0
+
+    def test_commit_and_release_track_matrix(self):
+        selector = NetworkSelector()
+        selector.add_cell("wifi", _online_classifier(5, seed=4))
+        selector.commit("wifi", app_class_index=2)
+        assert selector.matrix_of("wifi").count(2) == 1
+        selector.release("wifi", app_class_index=2)
+        assert selector.matrix_of("wifi").total_flows == 0
+
+    def test_duplicate_cell_rejected(self):
+        selector = NetworkSelector()
+        selector.add_cell("wifi", AdmittanceClassifier())
+        with pytest.raises(ValueError):
+            selector.add_cell("wifi", AdmittanceClassifier())
+
+    def test_unknown_cell_update_raises(self):
+        with pytest.raises(KeyError):
+            NetworkSelector().update_matrix("nope", TrafficMatrix.empty())
+
+    def test_empty_selector_raises(self):
+        with pytest.raises(RuntimeError):
+            NetworkSelector().select(0)
+
+    def test_margin_ordering_prefers_deeper_inside(self):
+        # Same classifier; the cell with fewer flows must have the
+        # larger margin and win the selection.
+        selector = NetworkSelector()
+        selector.add_cell("a", _online_classifier(6, seed=5))
+        selector.add_cell("b", _online_classifier(6, seed=5))
+        selector.update_matrix("a", TrafficMatrix.from_class_counts((1, 0, 0)))
+        selector.update_matrix("b", TrafficMatrix.from_class_counts((4, 0, 0)))
+        result = selector.select(app_class_index=0)
+        assert result.margins["a"] > result.margins["b"]
+        assert result.network == "a"

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7"])
+        assert args.command == "fig7"
+        assert not args.quick
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["fig12", "--quick"])
+        assert args.quick
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in ("fig2", "fig7", "fig14", "latency"):
+            assert name in text
+
+    def test_quick_fig12_runs(self):
+        out = io.StringIO()
+        assert main(["fig12", "--quick"], out=out) == 0
+        text = out.getvalue()
+        assert "Figure 12" in text
+        assert "completed in" in text
+
+    def test_quick_fig3_runs(self):
+        out = io.StringIO()
+        assert main(["fig3", "--quick"], out=out) == 0
+        assert "Figure 3" in out.getvalue()
+
+    def test_quick_fig7_runs(self):
+        out = io.StringIO()
+        assert main(["fig7", "--quick"], out=out) == 0
+        assert "precision" in out.getvalue()

@@ -1,0 +1,79 @@
+"""Tests for the closed-loop outcome evaluation."""
+
+import pytest
+
+from repro.core.baselines import AdmissionScheme, MaxClientAdmission
+from repro.experiments.closedloop import (
+    ClosedLoopResult,
+    compare_closed_loop,
+    run_closed_loop,
+)
+from repro.testbed.wifi_testbed import WiFiTestbed
+
+
+class _RejectAll(AdmissionScheme):
+    name = "RejectAll"
+
+    def decide(self, event):
+        return -1
+
+
+class TestClosedLoop:
+    def test_reject_all_carries_nothing(self):
+        result = run_closed_loop(
+            _RejectAll(), WiFiTestbed(), seed=1, duration_min=30
+        )
+        assert result.admitted == 0
+        assert result.carried_flow_minutes == 0.0
+        assert result.qoe_ok_fraction == 1.0  # vacuously perfect QoE
+
+    def test_maxclient_carries_load(self):
+        result = run_closed_loop(
+            MaxClientAdmission(10), WiFiTestbed(), seed=2, duration_min=40
+        )
+        assert result.admitted > 0
+        assert result.carried_flow_minutes > 0
+        assert 0.0 <= result.qoe_ok_fraction <= 1.0
+
+    def test_flow_minute_accounting(self):
+        result = run_closed_loop(
+            MaxClientAdmission(5), WiFiTestbed(), seed=3, duration_min=40
+        )
+        assert result.ok_flow_minutes <= result.carried_flow_minutes
+        assert result.violation_minutes == pytest.approx(
+            result.carried_flow_minutes - result.ok_flow_minutes
+        )
+
+    def test_same_seed_same_arrivals(self):
+        a = run_closed_loop(MaxClientAdmission(10), WiFiTestbed(), seed=4, duration_min=30)
+        b = run_closed_loop(MaxClientAdmission(10), WiFiTestbed(), seed=4, duration_min=30)
+        assert a.admitted == b.admitted
+        assert a.carried_flow_minutes == b.carried_flow_minutes
+
+    def test_compare_runs_all_schemes(self):
+        results = compare_closed_loop(
+            [MaxClientAdmission(10), _RejectAll()],
+            WiFiTestbed,
+            seed=5,
+            duration_min=20,
+        )
+        assert set(results) == {"MaxClient", "RejectAll"}
+        # Same arrival sequence: total attempts must match.
+        attempts = {n: r.admitted + r.rejected for n, r in results.items()}
+        assert len(set(attempts.values())) == 1
+
+    def test_as_row_fields(self):
+        result = ClosedLoopResult(scheme="x", duration_min=10)
+        row = result.as_row()
+        assert set(row) == {
+            "admitted", "rejected", "carried flow-min",
+            "QoE-OK fraction", "violation flow-min",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_closed_loop(_RejectAll(), WiFiTestbed(), seed=0, duration_min=0)
+        with pytest.raises(ValueError):
+            run_closed_loop(
+                _RejectAll(), WiFiTestbed(), seed=0, arrivals_per_min=0.0
+            )

@@ -1,0 +1,100 @@
+"""Tests for ground-truth dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import (
+    build_simulation_dataset,
+    build_testbed_dataset,
+)
+from repro.testbed.wifi_testbed import WiFiTestbed
+from repro.traffic.flows import APP_CLASSES
+from repro.wireless.channel import SnrBinner
+from repro.wireless.fluid import FluidWiFiCell
+
+
+MATRICES = [(1, 0, 0), (0, 1, 1), (3, 3, 2), (2, 0, 1), (4, 4, 2)]
+
+
+class TestTestbedDataset:
+    def test_one_sample_per_matrix(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, MATRICES, rng)
+        assert len(samples) == len(MATRICES)
+
+    def test_empty_matrices_skipped(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, [(0, 0, 0), (1, 0, 0)], rng)
+        assert len(samples) == 1
+
+    def test_event_consistent_with_matrix(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, MATRICES, rng)
+        for sample, matrix in zip(samples, MATRICES):
+            assert sum(sample.event.matrix_after) == sum(matrix)
+            assert sample.app_class in APP_CLASSES
+            # The designated arrival's class must be present in the matrix.
+            assert matrix[sample.event.app_class_index] >= 1
+
+    def test_labels_are_pm1(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, MATRICES, rng)
+        assert all(s.y in (-1, 1) for s in samples)
+
+    def test_truth_labels_match_runs(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, MATRICES, rng)
+        for sample in samples:
+            assert sample.y == sample.run.label
+
+    def test_iqx_labels_used_when_estimator_given(self, wifi_testbed, rng, estimator):
+        samples = build_testbed_dataset(
+            wifi_testbed, MATRICES, rng, estimator=estimator
+        )
+        for sample in samples:
+            assert sample.y == estimator.label_matrix_run(sample.run)
+
+    def test_light_matrix_positive_heavy_negative(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, [(1, 0, 0), (4, 4, 2)], rng)
+        assert samples[0].y == 1
+        assert samples[1].y == -1
+
+    def test_feature_dim_single_level(self, wifi_testbed, rng):
+        samples = build_testbed_dataset(wifi_testbed, MATRICES, rng)
+        assert all(s.x.shape == (4,) for s in samples)
+
+
+class TestSimulationDataset:
+    def test_mixed_snr_two_level_features(self, rng, estimator):
+        cell = FluidWiFiCell.ns3_80211n()
+        samples = build_simulation_dataset(
+            cell, MATRICES, rng, estimator,
+            binner=SnrBinner.two_level(), mixed_snr=True,
+        )
+        assert all(s.x.shape == (8,) for s in samples)
+
+    def test_mixed_snr_uses_both_levels(self, estimator):
+        rng = np.random.default_rng(5)
+        cell = FluidWiFiCell.ns3_80211n()
+        samples = build_simulation_dataset(
+            cell, [(5, 5, 5)] * 10, rng, estimator,
+            binner=SnrBinner.two_level(), mixed_snr=True,
+        )
+        levels = set()
+        for sample in samples:
+            for record in sample.run.records:
+                levels.add(record.snr_level)
+        assert levels == {0, 1}
+
+    def test_default_high_snr_only(self, rng, estimator):
+        cell = FluidWiFiCell.ns3_80211n()
+        samples = build_simulation_dataset(cell, MATRICES, rng, estimator)
+        for sample in samples:
+            for record in sample.run.records:
+                assert record.snr_level == 0
+
+    def test_noise_free_is_deterministic(self, estimator):
+        cell = FluidWiFiCell.ns3_80211n()
+        a = build_simulation_dataset(
+            cell, MATRICES, np.random.default_rng(3), estimator, qos_noise=0.0
+        )
+        b = build_simulation_dataset(
+            cell, MATRICES, np.random.default_rng(3), estimator, qos_noise=0.0
+        )
+        assert [s.y for s in a] == [s.y for s in b]
+        assert all((x.x == y.x).all() for x, y in zip(a, b))

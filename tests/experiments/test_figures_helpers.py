@@ -1,0 +1,110 @@
+"""Unit tests for the figure-driver building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import MaxClientAdmission, RateBasedAdmission
+from repro.experiments.figures import (
+    ComparisonResult,
+    _default_schemes,
+    _make_testbed,
+    _testbed_matrices,
+    trained_estimator,
+)
+from repro.experiments.harness import EvaluationSeries, ExBoxScheme
+from repro.testbed.lte_testbed import LTETestbed
+from repro.testbed.wifi_testbed import WiFiTestbed
+
+
+class TestTestbedMatrices:
+    def test_random_respects_network_bounds(self, rng):
+        wifi = _testbed_matrices("random", "wifi", 50, rng)
+        lte = _testbed_matrices("random", "lte", 50, rng)
+        assert all(sum(m) <= 10 for m in wifi)
+        assert all(sum(m) <= 8 for m in lte)
+
+    def test_livelab_respects_bounds(self, rng):
+        matrices = _testbed_matrices("livelab", "lte", 100, rng)
+        assert len(matrices) == 100
+        assert all(0 < sum(m) <= 8 for m in matrices)
+
+    def test_livelab_pads_by_repetition(self, rng):
+        # Requesting far more matrices than one log yields must still
+        # deliver the requested count.
+        matrices = _testbed_matrices("livelab", "wifi", 5000, rng)
+        assert len(matrices) == 5000
+
+    def test_unknown_scheme_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _testbed_matrices("burst", "wifi", 10, rng)
+
+
+class TestMakeTestbed:
+    def test_networks(self):
+        assert isinstance(_make_testbed("wifi"), WiFiTestbed)
+        assert isinstance(_make_testbed("lte"), LTETestbed)
+        with pytest.raises(ValueError):
+            _make_testbed("5g")
+
+
+class TestDefaultSchemes:
+    def test_composition(self):
+        schemes = _default_schemes("wifi", batch_size=20, n_bootstrap_hint=50)
+        kinds = [type(s) for s in schemes]
+        assert kinds == [ExBoxScheme, RateBasedAdmission, MaxClientAdmission]
+
+    def test_network_capacity_selected(self):
+        wifi = _default_schemes("wifi", 20, 50)[1]
+        lte = _default_schemes("lte", 10, 50)[1]
+        assert wifi.capacity_bps == 20.0e6
+        assert lte.capacity_bps == pytest.approx(20.8e6)
+
+    def test_bootstrap_hint_respected(self):
+        exbox = _default_schemes("wifi", 20, 40)[0]
+        assert exbox.classifier.max_bootstrap_samples == 40
+
+
+class TestTrainedEstimator:
+    def test_returns_fitted_models(self):
+        estimator = trained_estimator(seed=123, runs_per_point=2)
+        assert set(estimator.trained_classes) == {
+            "web", "streaming", "conferencing"
+        }
+
+    def test_seed_determinism(self):
+        a = trained_estimator(seed=5, runs_per_point=2).model_for("web")
+        b = trained_estimator(seed=5, runs_per_point=2).model_for("web")
+        assert a == b
+
+
+class TestComparisonResult:
+    def _series(self, name):
+        series = EvaluationSeries(scheme=name)
+        series.y_true = [1, -1, 1]
+        series.y_pred = [1, -1, -1]
+        series.app_classes = ["web"] * 3
+        series._checkpoint()
+        return series
+
+    def test_final_metrics_table(self):
+        result = ComparisonResult(
+            network="wifi",
+            traffic="random",
+            series={"ExBox": self._series("ExBox")},
+            n_bootstrap=10,
+        )
+        metrics = result.final_metrics()
+        assert metrics["ExBox"]["precision"] == 1.0
+        assert metrics["ExBox"]["recall"] == 0.5
+        assert metrics["ExBox"]["accuracy"] == pytest.approx(2 / 3)
+
+    def test_render_mentions_everything(self):
+        result = ComparisonResult(
+            network="lte",
+            traffic="livelab",
+            series={"ExBox": self._series("ExBox")},
+            n_bootstrap=25,
+        )
+        text = result.render()
+        assert "LTE" in text and "livelab" in text and "25" in text
+        assert "precision" in text and "recall" in text and "accuracy" in text

@@ -1,0 +1,119 @@
+"""Tests for the online evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import AdmissionScheme, MaxClientAdmission
+from repro.core.excr import encode_event
+from repro.experiments.datasets import LabeledSample
+from repro.experiments.harness import (
+    EvaluationSeries,
+    ExBoxScheme,
+    evaluate_scheme,
+    run_comparison,
+)
+from repro.testbed.controller import MatrixRun
+from repro.traffic.arrival import FlowEvent
+
+
+def _sample(matrix_before, cls_idx, y):
+    event = FlowEvent(matrix_before=matrix_before, app_class_index=cls_idx, snr_level=0)
+    return LabeledSample(event=event, x=encode_event(event), y=y, run=MatrixRun(records=()))
+
+
+def _stream(n, boundary=5, seed=0):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(n):
+        total = int(rng.integers(0, 2 * boundary + 1))
+        counts = tuple(int(v) for v in rng.multinomial(total, [1 / 3] * 3))
+        cls = int(rng.integers(0, 3))
+        y = 1 if sum(counts) + 1 <= boundary else -1
+        samples.append(_sample(counts, cls, y))
+    return samples
+
+
+class _AlwaysAdmit(AdmissionScheme):
+    name = "AlwaysAdmit"
+
+    def decide(self, event):
+        return 1
+
+
+class TestEvaluateScheme:
+    def test_always_admit_metrics(self):
+        samples = _stream(200, seed=1)
+        series = evaluate_scheme(samples, _AlwaysAdmit(), eval_every=50)
+        positives = np.mean([s.y == 1 for s in samples])
+        assert series.final_recall == 1.0
+        assert series.final_precision == pytest.approx(positives, abs=0.01)
+        assert series.final_accuracy == pytest.approx(positives, abs=0.01)
+
+    def test_checkpoint_cadence(self):
+        samples = _stream(100, seed=2)
+        series = evaluate_scheme(samples, _AlwaysAdmit(), eval_every=25)
+        assert series.sample_counts == [25, 50, 75, 100]
+
+    def test_final_partial_checkpoint(self):
+        samples = _stream(55, seed=3)
+        series = evaluate_scheme(samples, _AlwaysAdmit(), eval_every=25)
+        assert series.sample_counts[-1] == 55
+
+    def test_bootstrap_excluded_from_metrics(self):
+        samples = _stream(100, seed=4)
+        series = evaluate_scheme(samples, _AlwaysAdmit(), n_bootstrap=40, eval_every=30)
+        assert len(series.y_true) == 60
+
+    def test_bootstrap_consuming_stream_raises(self):
+        samples = _stream(10, seed=5)
+        with pytest.raises(ValueError):
+            evaluate_scheme(samples, _AlwaysAdmit(), n_bootstrap=10)
+
+    def test_exbox_beats_maxclient_on_learnable_boundary(self):
+        samples = _stream(400, boundary=5, seed=6)
+        exbox = ExBoxScheme(
+            batch_size=20, min_bootstrap_samples=50, max_bootstrap_samples=80
+        )
+        series = run_comparison(
+            samples,
+            [exbox, MaxClientAdmission(max_clients=8)],
+            n_bootstrap=80,
+            eval_every=100,
+        )
+        assert (
+            series["ExBox"].final_accuracy
+            > series["MaxClient"].final_accuracy
+        )
+        assert series["ExBox"].final_accuracy >= 0.85
+
+    def test_windowed_metrics_reset_each_checkpoint(self):
+        # First half all admissible, second half all inadmissible: the
+        # windowed accuracy of AlwaysAdmit must read 1.0 then 0.0.
+        good = [_sample((0, 0, 0), 0, 1) for _ in range(50)]
+        bad = [_sample((9, 9, 9), 0, -1) for _ in range(50)]
+        series = evaluate_scheme(
+            good + bad, _AlwaysAdmit(), eval_every=50, windowed=True
+        )
+        assert series.accuracy[0] == 1.0
+        assert series.accuracy[1] == 0.0
+
+    def test_per_class_accuracy_keys(self):
+        samples = _stream(90, seed=7)
+        series = evaluate_scheme(samples, _AlwaysAdmit(), eval_every=30)
+        per_class = series.per_class_accuracy()
+        assert set(per_class) <= {"web", "streaming", "conferencing"}
+        assert all(0.0 <= v <= 1.0 for v in per_class.values())
+
+    def test_tail_mean(self):
+        series = EvaluationSeries(scheme="x")
+        series.precision = [0.2, 0.4, 0.8, 1.0]
+        assert series.tail_mean("precision", fraction=0.5) == pytest.approx(0.9)
+
+    def test_exbox_scheme_bootstraps_lazily(self):
+        samples = _stream(120, seed=8)
+        scheme = ExBoxScheme(
+            batch_size=10, min_bootstrap_samples=30, max_bootstrap_samples=60
+        )
+        assert not scheme.is_online
+        evaluate_scheme(samples, scheme, n_bootstrap=60, eval_every=30)
+        assert scheme.is_online

@@ -1,0 +1,49 @@
+"""Tests for the latency measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import MaxClientAdmission
+from repro.experiments.latency import (
+    measure_decision_latency,
+    measure_training_latency,
+    median_ms,
+)
+from repro.experiments.datasets import build_testbed_dataset
+from repro.testbed.wifi_testbed import WiFiTestbed
+
+
+class TestMedianMs:
+    def test_conversion(self):
+        assert median_ms([0.001, 0.002, 0.003]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_ms([])
+
+
+class TestDecisionLatency:
+    def test_counts_and_positivity(self, rng):
+        testbed = WiFiTestbed()
+        samples = build_testbed_dataset(testbed, [(1, 1, 0)] * 5, rng)
+        latencies = measure_decision_latency(
+            MaxClientAdmission(10), samples, repeats=2
+        )
+        assert len(latencies) == 10
+        assert all(t >= 0 for t in latencies)
+
+
+class TestTrainingLatency:
+    def test_returns_requested_repeats(self):
+        latencies = measure_training_latency(50, repeats=2)
+        assert len(latencies) == 2
+        assert all(t > 0 for t in latencies)
+
+    def test_latency_grows_with_training_size(self):
+        small = median_ms(measure_training_latency(40, repeats=3))
+        large = median_ms(measure_training_latency(800, repeats=3))
+        assert large > small
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            measure_training_latency(2)

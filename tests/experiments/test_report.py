@@ -1,0 +1,38 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(scale="quick")
+
+    def test_all_sections_present(self, report):
+        expected = {
+            "Figure 2", "Figure 3", "Figure 7", "Figure 8", "Figure 9",
+            "Figure 10", "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+            "Latency",
+        }
+        assert set(report.sections) == expected
+
+    def test_sections_non_empty(self, report):
+        for name, body in report.sections.items():
+            assert body.strip(), f"section {name} rendered empty"
+
+    def test_timings_recorded(self, report):
+        assert set(report.seconds) == set(report.sections)
+        assert all(t >= 0 for t in report.seconds.values())
+
+    def test_render_contains_everything(self, report):
+        text = report.render()
+        assert "reproduction report" in text
+        for name in report.sections:
+            assert name in text
+        assert "Total: 11 experiments" in text
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(scale="huge")

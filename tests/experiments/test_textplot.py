@@ -1,0 +1,63 @@
+"""Tests for the text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.textplot import bar_table, heatmap, metric_table, series_table
+
+
+class TestSeriesTable:
+    def test_contains_all_values(self):
+        table = series_table([10, 20], {"ExBox": [0.8, 0.9], "Rate": [0.5, 0.4]})
+        assert "0.800" in table and "0.400" in table
+        assert "ExBox" in table and "Rate" in table
+
+    def test_row_count(self):
+        table = series_table([1, 2, 3], {"a": [0.1, 0.2, 0.3]})
+        assert len(table.splitlines()) == 5  # header + rule + 3 rows
+
+
+class TestMetricTable:
+    def test_rows_and_columns(self):
+        table = metric_table({"ExBox": {"precision": 0.9}, "Rate": {"precision": 0.5}})
+        assert "precision" in table
+        assert "0.900" in table and "0.500" in table
+
+    def test_missing_metric_dashed(self):
+        table = metric_table({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "-" in table
+
+
+class TestBarTable:
+    def test_bars_scale(self):
+        out = bar_table({"big": 1.0, "small": 0.25}, width=8)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 2
+
+    def test_empty(self):
+        assert bar_table({}) == "(empty)"
+
+
+class TestHeatmap:
+    def test_shape_and_orientation(self):
+        grid = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = heatmap(grid)
+        lines = out.splitlines()
+        assert len(lines) == 3  # legend + 2 rows
+        # Row index 1 (high values) is printed first (top).
+        assert "@" in lines[1]
+        assert "@" not in lines[2]
+
+    def test_nan_rendered_as_question_mark(self):
+        grid = np.array([[np.nan, 1.0]])
+        assert "?" in heatmap(grid)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3))
+
+    def test_custom_bounds_clamp(self):
+        grid = np.array([[5.0]])
+        out = heatmap(grid, vmin=0.0, vmax=1.0)
+        assert "@" in out

@@ -1,0 +1,154 @@
+"""Edge-case sweep across module boundaries.
+
+Small behaviours that integration flows rely on but no single-module
+test pins down: empty inputs, exact boundaries, cross-module defaults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exbox import ExBox
+from repro.core.excr import TrafficMatrix
+from repro.core.qoe_estimator import QoEEstimator
+from repro.experiments.harness import EvaluationSeries
+from repro.ml.metrics import precision_score, recall_score
+from repro.netem.shaping import Shaper
+from repro.qoe.iqx import IQXModel
+from repro.testbed.controller import MatrixRun
+from repro.testbed.wifi_testbed import WiFiTestbed
+from repro.traffic.flows import FlowRequest, WEB
+from repro.wireless.channel import SnrBinner
+from repro.wireless.fluid import FluidWiFiCell, OfferedFlow
+from repro.wireless.qos import FlowQoS
+
+
+class TestEmptyAndBoundary:
+    def test_empty_matrix_run_is_acceptable(self):
+        run = MatrixRun(records=())
+        assert run.network_acceptable
+        assert run.label == 1
+        assert run.counts(2) == (0,) * 6
+        assert run.median_qoe(WEB) is None
+
+    def test_testbed_with_zero_flows(self, wifi_testbed, rng):
+        run = wifi_testbed.run_flows([], rng=rng)
+        assert run.records == ()
+        assert run.label == 1
+
+    def test_exactly_max_clients(self, wifi_testbed, rng):
+        specs = [(WEB, 53.0)] * wifi_testbed.max_clients
+        run = wifi_testbed.run_flows(specs, rng=rng)
+        assert len(run.records) == wifi_testbed.max_clients
+
+    def test_matrix_arrival_at_boundary_slot(self):
+        matrix = TrafficMatrix.empty(n_levels=3)
+        grown = matrix.with_arrival(2, 2)  # last class, last level
+        assert grown.counts[-1] == 1
+
+    def test_single_flow_cell_is_unconstrained(self):
+        cell = FluidWiFiCell()
+        qos = cell.allocate([OfferedFlow(0, "web", 1e3, 53.0)])[0]
+        assert qos.throughput_bps == pytest.approx(1e3, rel=1e-6)
+        assert qos.loss_rate == 0.0
+
+
+class TestDefaultsAndComposition:
+    def test_exbox_defaults_single_level(self, estimator):
+        box = ExBox.with_defaults()
+        assert box.binner.n_levels == 1
+        box.qoe_estimator = estimator
+        decision = box.handle_arrival(FlowRequest(client_id=1, app_class=WEB))
+        assert decision.admitted  # bootstrap admits everything
+
+    def test_exbox_three_snr_levels(self, estimator):
+        box = ExBox.with_defaults(n_snr_levels=3)
+        assert box.binner.n_levels == 3
+        assert len(box.current_matrix.counts) == 9
+
+    def test_estimator_threshold_accessors_cover_defaults(self, estimator):
+        for cls in ("web", "streaming", "conferencing"):
+            threshold = estimator.threshold_for(cls)
+            assert threshold.app_class == cls
+
+    def test_shaper_composes_with_binner_in_testbed(self, rng):
+        testbed = WiFiTestbed(
+            binner=SnrBinner.two_level(), shaper=Shaper(delay_s=0.1), qos_noise=0.0
+        )
+        run = testbed.run_flows([(WEB, 53.0)])
+        assert run.records[0].snr_level == 1
+        assert run.records[0].qos.delay_s > 0.1
+
+    def test_iqx_model_equality_roundtrip(self):
+        a = IQXModel(alpha=1.0, beta=2.0, gamma=3.0, qos_lo=0.1, qos_hi=10.0)
+        b = IQXModel(alpha=1.0, beta=2.0, gamma=3.0, qos_lo=0.1, qos_hi=10.0)
+        assert a == b
+
+    def test_estimator_rejects_unknown_class_threshold(self, estimator):
+        with pytest.raises(KeyError):
+            estimator.threshold_for("gaming")
+
+
+class TestMetricConventions:
+    def test_precision_default_configurable(self):
+        assert precision_score([1, 1], [-1, -1], default=0.0) == 0.0
+        assert recall_score([-1], [-1], default=0.25) == 0.25
+
+    def test_evaluation_series_empty_tail(self):
+        series = EvaluationSeries(scheme="x")
+        assert np.isnan(series.final_precision)
+        assert np.isnan(series.tail_mean("accuracy"))
+
+    def test_flowqos_loss_boundaries(self):
+        FlowQoS(1.0, 0.1, loss_rate=0.0)
+        FlowQoS(1.0, 0.1, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            FlowQoS(1.0, 0.1, loss_rate=-0.01)
+
+
+class TestQoEEstimatorEdges:
+    def test_fit_class_with_tiny_sample_raises(self):
+        estimator = QoEEstimator()
+        with pytest.raises(ValueError):
+            estimator.fit_class(WEB, [(1.0, 1.0), (2.0, 2.0)])
+
+    def test_untrained_estimate_raises(self):
+        with pytest.raises(RuntimeError):
+            QoEEstimator().estimate_qoe(WEB, FlowQoS(1e6, 0.05))
+
+
+class TestExcrVolumeUnderThrottle:
+    def _train_region(self, testbed, rng):
+        from repro.core.admittance import AdmittanceClassifier
+        from repro.core.excr import ExperientialCapacityRegion
+        from repro.experiments.datasets import build_testbed_dataset
+        from repro.traffic.arrival import random_matrix_sequence
+
+        classifier = AdmittanceClassifier(
+            batch_size=20, min_bootstrap_samples=80, max_bootstrap_samples=140,
+            cv_threshold=0.85,
+        )
+        matrices = random_matrix_sequence(150, max_per_class=10, rng=rng, max_total=10)
+        for sample in build_testbed_dataset(testbed, matrices, rng):
+            if classifier.is_online:
+                break
+            classifier.observe_bootstrap(sample.x, sample.y)
+        if not classifier.is_online:
+            classifier.force_online()
+        return ExperientialCapacityRegion(classifier, n_levels=1)
+
+    def test_throttle_shrinks_learned_volume(self, estimator):
+        """The scalar 'experiential capacity' must visibly shrink when
+        the cell is throttled to half its rate (the Figure 11 change,
+        viewed through ExCR volume instead of classifier metrics)."""
+        rng = np.random.default_rng(77)
+        clean = self._train_region(WiFiTestbed(), rng)
+        throttled_testbed = WiFiTestbed(shaper=Shaper(rate_bps=8e6))
+        throttled = self._train_region(throttled_testbed, rng)
+        v_clean = clean.estimate_volume(
+            np.random.default_rng(1), max_per_slot=4, n_samples=800
+        )
+        v_throttled = throttled.estimate_volume(
+            np.random.default_rng(1), max_per_slot=4, n_samples=800
+        )
+        assert v_throttled < v_clean
+        assert v_clean > 0.05

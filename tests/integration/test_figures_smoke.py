@@ -1,0 +1,90 @@
+"""Smoke tests: every figure driver runs at reduced scale and its result
+exposes the structure the benchmark suite prints."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures as F
+
+
+class TestFigureDrivers:
+    def test_fig2(self):
+        result = F.fig2_heatmaps(max_flows=20, step=10)
+        assert result.streaming_qoe.shape == (3, 3)
+        # More streaming flows -> worse streaming QoE (row index grows).
+        assert result.streaming_qoe[2, 0] <= result.streaming_qoe[1, 0]
+        assert "Figure 2" in result.render()
+
+    def test_fig3(self):
+        result = F.fig3_snr_impact()
+        assert result.placements[0] == (4, 0)
+        # All-high placement acceptable; all-low not.
+        assert all(d <= result.threshold_s for d in result.high_snr_delays[0])
+        assert all(d > result.threshold_s for d in result.low_snr_delays[-1])
+        assert "Figure 3" in result.render()
+
+    def test_fig7_small(self):
+        result = F.fig7_wifi_testbed(n_online=60, n_bootstrap=30, eval_every=30)
+        assert set(result.random.series) == {"ExBox", "RateBased", "MaxClient"}
+        assert result.random.series["ExBox"].sample_counts[-1] == 60
+        result.render()
+
+    def test_fig8_small(self):
+        result = F.fig8_lte_testbed(n_online=45, n_bootstrap=30, eval_every=15)
+        assert set(result.livelab.series) == {"ExBox", "RateBased", "MaxClient"}
+        result.render()
+
+    def test_fig9_small(self):
+        result = F.fig9_per_app_accuracy(n_online=60, n_bootstrap=30)
+        for table in (result.wifi, result.lte):
+            assert set(table) == {"ExBox", "RateBased", "MaxClient"}
+        result.render()
+
+    def test_fig10_small(self):
+        result = F.fig10_batch_sensitivity(
+            batch_sizes=(10, 20), n_online=60, n_bootstrap=30, eval_every=30
+        )
+        assert "Batch 10" in result.wifi and "Batch 20" in result.wifi
+        # Baselines have no online updates: one series each, flat name.
+        assert "RateBased" in result.wifi
+        result.render()
+
+    def test_fig11_small(self):
+        result = F.fig11_adaptation(n_online_wifi=90, n_online_lte=60, eval_every=30)
+        exbox = result.wifi["ExBox"]
+        # Windowed metrics: the model must end better than it started.
+        assert exbox.precision[-1] >= exbox.precision[0]
+        result.render()
+
+    def test_fig12(self):
+        result = F.fig12_iqx_fits(runs_per_point=3)
+        assert set(result.models) == {"web", "streaming", "conferencing"}
+        assert result.models["conferencing"].beta < 0  # PSNR rises with QoS
+        assert result.models["web"].beta > 0  # PLT falls with QoS
+        for model in result.models.values():
+            assert np.isfinite(model.rmse)
+        result.render()
+
+    def test_fig13_small(self):
+        result = F.fig13_mixed_snr(
+            n_samples=400, batch_sizes=(100,), eval_every=100
+        )
+        assert "Batch 100" in result.series
+        assert "RateBased" in result.series
+        result.render()
+
+    def test_fig14_small(self):
+        result = F.fig14_populous(
+            n_wifi_samples=200, n_lte_samples=150, eval_every=50
+        )
+        assert set(result.wifi) == {"ExBox", "RateBased", "MaxClient"}
+        result.render()
+
+    def test_latency(self):
+        result = F.latency_benchmarks(
+            n_decision_samples=30, training_sizes=(50, 100)
+        )
+        assert set(result.decision_ms) == {"ExBox", "RateBased", "MaxClient"}
+        assert result.decision_ms["ExBox"] > 0
+        assert set(result.training_ms) == {50, 100}
+        result.render()

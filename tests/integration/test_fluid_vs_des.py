@@ -1,0 +1,94 @@
+"""Cross-validation of the fluid model against the packet-level DES.
+
+The fluid model generates the experiment ground truth, so its
+predictions must agree with the packet-level simulators on the
+behaviours the capacity region depends on.
+"""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.wireless.fluid import FluidLTECell, FluidWiFiCell, OfferedFlow
+from repro.wireless.lte import LteCell, LteFlowConfig
+from repro.wireless.wifi import WifiCell, WifiFlowConfig
+
+
+def _fluid_wifi(specs):
+    cell = FluidWiFiCell()
+    flows = [OfferedFlow(i, "web", d, s) for i, (d, s) in enumerate(specs)]
+    return cell.allocate(flows)
+
+
+def _des_wifi(specs, duration=3.0):
+    sim = Simulator()
+    cell = WifiCell(sim)
+    offered = [(WifiFlowConfig(i, s), d) for i, (d, s) in enumerate(specs)]
+    return cell.run_constant_bitrate(offered, duration_s=duration)
+
+
+class TestWiFiAgreement:
+    def test_underload_throughputs_match(self):
+        specs = [(2e6, 53.0), (3e6, 53.0)]
+        fluid = _fluid_wifi(specs)
+        des = _des_wifi(specs)
+        for fid in (0, 1):
+            assert des[fid].throughput_bps == pytest.approx(
+                fluid[fid].throughput_bps, rel=0.15
+            )
+
+    def test_anomaly_direction_agrees(self):
+        # Adding a slow station must reduce the fast station's share in
+        # BOTH models.
+        fast_only = [(20e6, 53.0)] * 2
+        mixed = [(20e6, 53.0)] * 2 + [(20e6, 14.0)]
+        fluid_drop = (
+            _fluid_wifi(mixed)[0].throughput_bps
+            / _fluid_wifi(fast_only)[0].throughput_bps
+        )
+        des_drop = (
+            _des_wifi(mixed, duration=2.0)[0].throughput_bps
+            / _des_wifi(fast_only, duration=2.0)[0].throughput_bps
+        )
+        assert fluid_drop < 0.85
+        assert des_drop < 0.85
+
+    def test_saturated_aggregate_same_ballpark(self):
+        specs = [(30e6, 53.0)] * 3
+        fluid_total = sum(q.throughput_bps for q in _fluid_wifi(specs).values())
+        des_total = sum(
+            q.throughput_bps for q in _des_wifi(specs, duration=2.0).values()
+        )
+        assert des_total == pytest.approx(fluid_total, rel=0.3)
+
+
+class TestLTEAgreement:
+    def test_resource_fair_ratio_agrees(self):
+        # Two saturated UEs at CQI-15 vs CQI-7-ish SNR: throughput ratio
+        # should approximate the spectral-efficiency ratio in both models.
+        fluid_cell = FluidLTECell()
+        flows = [
+            OfferedFlow(0, "web", 50e6, 30.0),
+            OfferedFlow(1, "web", 50e6, 6.0),
+        ]
+        fluid = fluid_cell.allocate(flows)
+        sim = Simulator()
+        des_cell = LteCell(sim)
+        des = des_cell.run_constant_bitrate(
+            [(LteFlowConfig(0, 30.0), 50e6), (LteFlowConfig(1, 6.0), 50e6)],
+            duration_s=2.0,
+        )
+        fluid_ratio = fluid[0].throughput_bps / fluid[1].throughput_bps
+        des_ratio = des[0].throughput_bps / des[1].throughput_bps
+        assert des_ratio == pytest.approx(fluid_ratio, rel=0.35)
+
+    def test_underload_throughputs_match(self):
+        fluid_cell = FluidLTECell()
+        flows = [OfferedFlow(0, "web", 3e6, 30.0)]
+        fluid = fluid_cell.allocate(flows)
+        sim = Simulator()
+        des = LteCell(sim).run_constant_bitrate(
+            [(LteFlowConfig(0, 30.0), 3e6)], duration_s=3.0
+        )
+        assert des[0].throughput_bps == pytest.approx(
+            fluid[0].throughput_bps, rel=0.15
+        )

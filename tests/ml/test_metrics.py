@@ -1,0 +1,87 @@
+"""Tests for the admission-control metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    ClassificationReport,
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_all_cells(self):
+        y_true = [1, 1, -1, -1, 1, -1]
+        y_pred = [1, -1, 1, -1, 1, -1]
+        cm = confusion_matrix(y_true, y_pred)
+        # [[tn, fp], [fn, tp]]
+        assert cm.tolist() == [[2, 1], [1, 2]]
+
+    def test_rejects_non_pm1_labels(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [1, 1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 1], [1])
+
+
+class TestScores:
+    def test_perfect(self):
+        y = [1, -1, 1, -1]
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert accuracy_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_paper_definitions(self):
+        # 3 admitted, 2 of them correctly -> precision 2/3.
+        y_true = [1, 1, -1, 1]
+        y_pred = [1, 1, 1, -1]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        # 3 admissible, 2 admitted -> recall 2/3.
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert accuracy_score(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_conservative_controller_precision_default(self):
+        # Admits nothing: by the paper's convention precision defaults
+        # high while recall exposes the conservatism.
+        y_true = [1, 1, -1]
+        y_pred = [-1, -1, -1]
+        assert precision_score(y_true, y_pred) == 1.0
+        assert recall_score(y_true, y_pred) == 0.0
+
+    def test_recall_default_when_nothing_admissible(self):
+        y_true = [-1, -1]
+        y_pred = [-1, -1]
+        assert recall_score(y_true, y_pred) == 1.0
+
+    def test_f1_zero_when_no_overlap(self):
+        assert f1_score([1, -1], [-1, 1]) == 0.0
+
+    def test_accuracy_empty_is_zero(self):
+        assert accuracy_score([], []) == 0.0
+
+    def test_numpy_inputs_accepted(self):
+        y = np.array([1.0, -1.0, 1.0])
+        assert accuracy_score(y, y) == 1.0
+
+
+class TestClassificationReport:
+    def test_from_predictions(self):
+        y_true = [1, -1, 1, -1, 1]
+        y_pred = [1, -1, -1, -1, 1]
+        report = ClassificationReport.from_predictions(y_true, y_pred)
+        assert report.n_samples == 5
+        assert report.accuracy == pytest.approx(0.8)
+        assert report.precision == 1.0
+        assert report.recall == pytest.approx(2 / 3)
+
+    def test_as_row_contains_metrics(self):
+        report = ClassificationReport(0.5, 0.25, 0.75, 12)
+        row = report.as_row()
+        assert "0.500" in row and "0.250" in row and "0.750" in row and "12" in row

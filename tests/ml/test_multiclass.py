@@ -1,0 +1,100 @@
+"""Tests for one-vs-rest multi-class composition."""
+
+import numpy as np
+import pytest
+
+from repro.ml.multiclass import OneVsRestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _blobs(seed=0, n=50):
+    rng = np.random.default_rng(seed)
+    X = np.vstack(
+        [
+            rng.normal([0, 0], 0.6, size=(n, 2)),
+            rng.normal([5, 0], 0.6, size=(n, 2)),
+            rng.normal([0, 5], 0.6, size=(n, 2)),
+        ]
+    )
+    y = np.array(["a"] * n + ["b"] * n + ["c"] * n)
+    return X, y
+
+
+class TestOneVsRest:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        model = OneVsRestClassifier().fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_generalization(self):
+        X, y = _blobs(seed=1)
+        Xt, yt = _blobs(seed=2)
+        model = OneVsRestClassifier().fit(X, y)
+        assert model.score(Xt, yt) >= 0.9
+
+    def test_decision_matrix_shape(self):
+        X, y = _blobs(seed=3, n=20)
+        model = OneVsRestClassifier().fit(X, y)
+        assert model.decision_matrix(X[:7]).shape == (7, 3)
+
+    def test_argmax_consistency(self):
+        X, y = _blobs(seed=4, n=20)
+        model = OneVsRestClassifier().fit(X, y)
+        scores = model.decision_matrix(X)
+        argmax = model.classes_[np.argmax(scores, axis=1)]
+        assert np.all(argmax == model.predict(X))
+
+    def test_tree_factory_works(self):
+        X, y = _blobs(seed=5, n=30)
+        model = OneVsRestClassifier(
+            model_factory=lambda: DecisionTreeClassifier(max_depth=4)
+        ).fit(X, y)
+        assert model.score(X, y) >= 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneVsRestClassifier().predict([[0.0, 0.0]])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier().fit(np.zeros((4, 2)), ["x"] * 4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestClassifier().fit(np.zeros((4, 2)), ["x"] * 3)
+
+
+class TestSvmBackendFlowClassifier:
+    def test_svm_backend_accuracy(self):
+        from repro.classification.classifier import FlowClassifier
+        from repro.traffic.flows import APP_CLASSES
+        from repro.traffic.generators import generator_for_class
+
+        rng = np.random.default_rng(6)
+        clf = FlowClassifier.train_synthetic(
+            rng, flows_per_class=12, trace_duration_s=15.0, backend="svm"
+        )
+        traces, labels = [], []
+        for app_class in APP_CLASSES:
+            for _ in range(6):
+                traces.append(list(generator_for_class(app_class).generate(15.0, rng)))
+                labels.append(app_class)
+        assert clf.accuracy(traces, labels) >= 0.75
+
+    def test_svm_backend_proba_normalized(self):
+        from repro.classification.classifier import FlowClassifier
+        from repro.traffic.generators import generator_for_class
+
+        rng = np.random.default_rng(7)
+        clf = FlowClassifier.train_synthetic(
+            rng, flows_per_class=8, trace_duration_s=12.0, backend="svm"
+        )
+        trace = list(generator_for_class("web").generate(12.0, rng))
+        probs = clf.classify_proba(trace)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_unknown_backend_rejected(self):
+        from repro.classification.classifier import FlowClassifier
+
+        with pytest.raises(ValueError):
+            FlowClassifier(backend="xgboost")

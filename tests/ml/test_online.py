@@ -1,0 +1,113 @@
+"""Tests for the batch-online SVM (replay buffer + retraining)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.online import BatchOnlineSVM
+
+
+def _feed_linear(learner, n, seed=0, flip=None):
+    rng = np.random.default_rng(seed)
+    retrains = 0
+    for _ in range(n):
+        x = rng.uniform(-2, 2, size=2)
+        y = 1.0 if x.sum() > 0 else -1.0
+        if flip:
+            y = flip(x, y)
+        if learner.observe(x, y):
+            retrains += 1
+    return retrains
+
+
+class TestBuffer:
+    def test_add_sample_grows_buffer(self):
+        learner = BatchOnlineSVM(batch_size=5)
+        learner.add_sample([1.0, 2.0], 1)
+        learner.add_sample([3.0, 4.0], -1)
+        assert len(learner) == 2
+
+    def test_replacement_rule_updates_label(self):
+        # The paper: a repeated traffic matrix takes the latest label.
+        learner = BatchOnlineSVM(batch_size=100, replace_repeated=True)
+        learner.add_sample([1.0, 1.0], 1)
+        learner.add_sample([1.0, 1.0], -1)
+        assert len(learner) == 1
+        _, y = learner.training_set()
+        assert y[0] == -1
+
+    def test_append_only_variant_keeps_both(self):
+        learner = BatchOnlineSVM(batch_size=100, replace_repeated=False)
+        learner.add_sample([1.0, 1.0], 1)
+        learner.add_sample([1.0, 1.0], -1)
+        assert len(learner) == 2
+
+    def test_invalid_label_rejected(self):
+        learner = BatchOnlineSVM()
+        with pytest.raises(ValueError):
+            learner.add_sample([0.0], 2)
+
+    def test_max_buffer_evicts_oldest(self):
+        learner = BatchOnlineSVM(batch_size=100, max_buffer=3, replace_repeated=False)
+        for i in range(5):
+            learner.add_sample([float(i)], 1)
+        X, _ = learner.training_set()
+        assert len(learner) == 3
+        assert X.ravel().tolist() == [2.0, 3.0, 4.0]
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchOnlineSVM(batch_size=0)
+
+
+class TestRetraining:
+    def test_retrains_every_batch(self):
+        learner = BatchOnlineSVM(batch_size=10)
+        retrains = _feed_linear(learner, 35)
+        assert retrains == 3
+        assert learner.n_retrains == 3
+
+    def test_learns_linear_boundary(self):
+        learner = BatchOnlineSVM(batch_size=20)
+        _feed_linear(learner, 100, seed=1)
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(50, 2))
+        y = np.where(X.sum(axis=1) > 0, 1.0, -1.0)
+        assert np.mean(learner.predict(X) == y) >= 0.9
+
+    def test_predict_before_training_raises(self):
+        learner = BatchOnlineSVM()
+        with pytest.raises(RuntimeError):
+            learner.predict([[0.0, 0.0]])
+
+    def test_retrain_without_samples_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchOnlineSVM().retrain()
+
+    def test_adapts_to_concept_drift(self):
+        # Train on one boundary, drift the labels, keep feeding:
+        # the replacement rule plus retraining must track the change.
+        learner = BatchOnlineSVM(batch_size=20)
+        rng = np.random.default_rng(3)
+        grid = [np.array([a, b]) for a in np.linspace(-2, 2, 9) for b in np.linspace(-2, 2, 9)]
+        for x in grid:
+            learner.observe(x, 1.0 if x.sum() > 0 else -1.0)
+        # Drift: boundary flips sign.
+        for _ in range(3):
+            for x in grid:
+                learner.observe(x, 1.0 if x.sum() < 0 else -1.0)
+        X = rng.uniform(-2, 2, size=(60, 2))
+        y_new = np.where(X.sum(axis=1) < 0, 1.0, -1.0)
+        assert np.mean(learner.predict(X) == y_new) >= 0.85
+
+    def test_margin_one_sign_consistent(self):
+        learner = BatchOnlineSVM(batch_size=10)
+        _feed_linear(learner, 60, seed=4)
+        point = np.array([1.5, 1.5])
+        assert learner.margin_one(point) > 0
+        assert learner.predict_one(point) == 1.0
+
+    def test_is_trained_flag(self):
+        learner = BatchOnlineSVM(batch_size=5)
+        assert not learner.is_trained
+        _feed_linear(learner, 6, seed=5)
+        assert learner.is_trained

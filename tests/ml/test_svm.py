@@ -1,0 +1,133 @@
+"""Tests for the from-scratch SMO-trained SVC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import NotFittedError, SVC
+
+
+def _linear_problem(n=200, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = np.where(X @ np.array([1.0, 2.0, -1.0]) > 0, 1.0, -1.0)
+    if noise:
+        flip = rng.random(n) < noise
+        y[flip] *= -1
+    return X, y
+
+
+class TestFitBasics:
+    def test_linearly_separable_high_accuracy(self):
+        X, y = _linear_problem()
+        model = SVC(C=10.0, kernel="linear").fit(X, y)
+        assert model.score(X, y) >= 0.98
+
+    def test_rbf_on_nonlinear_boundary(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.where(X[:, 0] ** 2 + X[:, 1] ** 2 < 2.0, 1.0, -1.0)
+        model = SVC(C=10.0, kernel="rbf").fit(X, y)
+        assert model.score(X, y) >= 0.93
+
+    def test_generalizes_to_held_out(self):
+        X, y = _linear_problem(n=300, seed=2)
+        Xt, yt = _linear_problem(n=150, seed=3)
+        model = SVC(C=10.0, kernel="rbf").fit(X, y)
+        assert model.score(Xt, yt) >= 0.9
+
+    def test_tolerates_label_noise(self):
+        X, y = _linear_problem(n=300, seed=4, noise=0.05)
+        model = SVC(C=1.0, kernel="rbf").fit(X, y)
+        assert model.score(X, y) >= 0.85
+
+    def test_fit_returns_self(self):
+        X, y = _linear_problem(n=20)
+        model = SVC()
+        assert model.fit(X, y) is model
+
+
+class TestDegenerateInputs:
+    def test_single_class_positive(self):
+        X = np.random.default_rng(5).normal(size=(10, 2))
+        model = SVC().fit(X, np.ones(10))
+        assert np.all(model.predict(X) == 1.0)
+        assert model.is_constant_
+
+    def test_single_class_negative(self):
+        X = np.random.default_rng(6).normal(size=(10, 2))
+        model = SVC().fit(X, -np.ones(10))
+        assert np.all(model.predict(X) == -1.0)
+
+    def test_two_points(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([-1.0, 1.0])
+        model = SVC(C=10.0, kernel="linear").fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_bad_labels_raise(self):
+        X = np.zeros((3, 1))
+        with pytest.raises(ValueError, match="labels"):
+            SVC().fit(X, [0.0, 1.0, 2.0])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((3, 1)), [1.0, -1.0])
+
+    def test_bad_C_raises(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+
+
+class TestInference:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SVC().predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            SVC().decision_function(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        X, y = _linear_problem(n=30)
+        model = SVC().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(np.zeros((1, 5)))
+
+    def test_decision_sign_matches_predict(self):
+        X, y = _linear_problem(n=100, seed=7)
+        model = SVC(C=5.0).fit(X, y)
+        scores = model.decision_function(X)
+        preds = model.predict(X)
+        assert np.all(np.sign(scores + 1e-15) == preds)
+
+    def test_margin_larger_deep_inside(self):
+        # Points far from the boundary should carry larger margins —
+        # the property ExBox's network selection relies on.
+        X, y = _linear_problem(n=400, seed=8)
+        model = SVC(C=10.0, kernel="linear").fit(X, y)
+        w = np.array([1.0, 2.0, -1.0])
+        deep = (w / np.linalg.norm(w)) * 3.0
+        shallow = (w / np.linalg.norm(w)) * 0.2
+        assert model.decision_function([deep])[0] > model.decision_function([shallow])[0]
+
+    def test_support_vector_introspection(self):
+        X, y = _linear_problem(n=80, seed=9)
+        model = SVC(C=10.0).fit(X, y)
+        assert 0 < model.n_support_ <= 80
+        assert model.support_vectors_.shape[1] == 3
+        assert isinstance(model.intercept_, float)
+
+    def test_repr_mentions_params(self):
+        text = repr(SVC(C=2.0))
+        assert "C=2.0" in text
+
+
+class TestDeterminism:
+    def test_same_data_same_model(self):
+        X, y = _linear_problem(n=120, seed=10)
+        a = SVC(C=10.0, random_state=0).fit(X, y)
+        b = SVC(C=10.0, random_state=0).fit(X, y)
+        Xt = np.random.default_rng(11).normal(size=(40, 3))
+        assert np.allclose(a.decision_function(Xt), b.decision_function(Xt))

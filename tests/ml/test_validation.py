@@ -1,0 +1,92 @@
+"""Tests for k-fold cross-validation and splits."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import SVC
+from repro.ml.validation import KFold, cross_val_accuracy, train_test_split
+
+
+class TestKFold:
+    def test_partitions_everything_exactly_once(self):
+        kf = KFold(n_splits=4, random_state=0)
+        seen = []
+        for train_idx, test_idx in kf.split(22):
+            assert set(train_idx).isdisjoint(test_idx)
+            assert len(train_idx) + len(test_idx) == 22
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(22))
+
+    def test_fold_sizes_balanced(self):
+        kf = KFold(n_splits=5, random_state=1)
+        sizes = [len(test) for _, test in kf.split(23)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_shuffle_is_contiguous(self):
+        kf = KFold(n_splits=2, shuffle=False)
+        folds = [test.tolist() for _, test in kf.split(4)]
+        assert folds == [[0, 1], [2, 3]]
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_deterministic_given_seed(self):
+        a = [t.tolist() for _, t in KFold(4, random_state=7).split(16)]
+        b = [t.tolist() for _, t in KFold(4, random_state=7).split(16)]
+        assert a == b
+
+
+class TestCrossValAccuracy:
+    def test_high_on_separable(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(80, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        acc = cross_val_accuracy(
+            lambda: SVC(C=10.0, kernel="linear"), X, y, n_splits=4, random_state=0
+        )
+        assert acc >= 0.9
+
+    def test_near_chance_on_random_labels(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 2))
+        y = np.where(rng.random(60) < 0.5, 1.0, -1.0)
+        acc = cross_val_accuracy(
+            lambda: SVC(C=1.0), X, y, n_splits=3, random_state=0
+        )
+        assert acc < 0.75
+
+    def test_single_class_folds_dont_crash(self):
+        # Early in bootstrap everything can carry the same label.
+        X = np.random.default_rng(4).normal(size=(12, 2))
+        y = np.ones(12)
+        acc = cross_val_accuracy(lambda: SVC(), X, y, n_splits=3)
+        assert acc == 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_val_accuracy(lambda: SVC(), np.zeros((4, 1)), np.ones(3))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2).astype(float)
+        y = np.where(np.arange(20) % 2 == 0, 1.0, -1.0)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.25, random_state=0)
+        assert len(X_te) == 5 and len(X_tr) == 15
+        assert len(y_te) == 5 and len(y_tr) == 15
+
+    def test_no_overlap_and_complete(self):
+        X = np.arange(30).reshape(15, 2).astype(float)
+        y = np.ones(15)
+        X_tr, X_te, _, _ = train_test_split(X, y, test_fraction=0.2, random_state=1)
+        rows = {tuple(r) for r in np.vstack([X_tr, X_te])}
+        assert len(rows) == 15
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.ones(4), test_fraction=1.5)

@@ -1,0 +1,113 @@
+"""Tests for the tc/netem-equivalent shaping primitives."""
+
+import numpy as np
+import pytest
+
+from repro.netem.shaping import DelayLine, LossGate, Shaper, TokenBucket
+from repro.wireless.qos import FlowQoS
+
+
+class TestTokenBucket:
+    def test_burst_passes_immediately(self):
+        bucket = TokenBucket(rate_bps=1e6, burst_bits=10000)
+        assert bucket.offer(0.0, 5000) == 0.0
+
+    def test_sustained_rate_enforced(self):
+        bucket = TokenBucket(rate_bps=1e6, burst_bits=1000)
+        release_times = [bucket.offer(0.0, 1000) for _ in range(11)]
+        # 11 kb through a 1 Mbps bucket with 1 kb burst: last release
+        # must wait (11-1) kb / 1 Mbps = 10 ms.
+        assert release_times[-1] == pytest.approx(0.010, rel=0.05)
+
+    def test_releases_monotone(self):
+        bucket = TokenBucket(rate_bps=1e5, burst_bits=500)
+        times = [bucket.offer(t * 0.001, 800) for t in range(20)]
+        assert times == sorted(times)
+
+    def test_idle_refills(self):
+        bucket = TokenBucket(rate_bps=1e6, burst_bits=8000)
+        bucket.offer(0.0, 8000)  # drain
+        assert bucket.offer(1.0, 8000) == pytest.approx(1.0)  # refilled
+
+    def test_time_backwards_rejected(self):
+        bucket = TokenBucket(rate_bps=1e6)
+        bucket.offer(1.0, 100)
+        with pytest.raises(ValueError):
+            bucket.offer(0.5, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_bps=0.0)
+
+
+class TestDelayLine:
+    def test_fixed_delay(self):
+        line = DelayLine(delay_s=0.2)
+        assert line.delay_for_packet() == 0.2
+
+    def test_jitter_bounded(self):
+        rng = np.random.default_rng(0)
+        line = DelayLine(delay_s=0.1, jitter_s=0.02, rng=rng)
+        samples = [line.delay_for_packet() for _ in range(200)]
+        assert all(0.08 <= s <= 0.12 for s in samples)
+        assert np.std(samples) > 0
+
+    def test_jitter_needs_rng(self):
+        with pytest.raises(ValueError):
+            DelayLine(delay_s=0.1, jitter_s=0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLine(delay_s=-0.1)
+
+
+class TestLossGate:
+    def test_rate_respected(self):
+        gate = LossGate(0.3, np.random.default_rng(1))
+        drops = sum(gate.drops() for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_extremes(self):
+        rng = np.random.default_rng(2)
+        assert not any(LossGate(0.0, rng).drops() for _ in range(100))
+        assert all(LossGate(1.0, rng).drops() for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossGate(1.5, np.random.default_rng(0))
+
+
+class TestShaper:
+    def test_noop(self):
+        qos = FlowQoS(5e6, 0.03, 0.01)
+        assert Shaper().is_noop
+        assert Shaper().apply_to_qos(qos) == qos
+
+    def test_rate_cap(self):
+        shaped = Shaper(rate_bps=2e6).apply_to_qos(FlowQoS(5e6, 0.03))
+        assert shaped.throughput_bps == 2e6
+
+    def test_rate_cap_no_boost(self):
+        shaped = Shaper(rate_bps=10e6).apply_to_qos(FlowQoS(5e6, 0.03))
+        assert shaped.throughput_bps == 5e6
+
+    def test_delay_adds(self):
+        shaped = Shaper(delay_s=0.2).apply_to_qos(FlowQoS(5e6, 0.03))
+        assert shaped.delay_s == pytest.approx(0.23)
+
+    def test_loss_composes(self):
+        shaped = Shaper(loss_rate=0.5).apply_to_qos(FlowQoS(5e6, 0.03, loss_rate=0.5))
+        assert shaped.loss_rate == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Shaper(rate_bps=0.0)
+        with pytest.raises(ValueError):
+            Shaper(delay_s=-1.0)
+        with pytest.raises(ValueError):
+            Shaper(loss_rate=2.0)
+
+    def test_scaled_aggregate_rate(self):
+        assert Shaper().scaled_aggregate_rate(10e6) is None
+        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(10e6) == 5e6
+        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(2e6) == 2e6

@@ -1,0 +1,85 @@
+"""Property-based tests for the ExBox core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.excr import TrafficMatrix, encode_event
+from repro.netem.shaping import Shaper
+from repro.qoe.iqx import IQXModel
+from repro.traffic.arrival import FlowEvent
+from repro.traffic.flows import APP_CLASSES
+from repro.wireless.qos import FlowQoS
+
+counts3 = st.tuples(*[st.integers(0, 20)] * 3)
+counts6 = st.tuples(*[st.integers(0, 20)] * 6)
+
+
+class TestTrafficMatrixProperties:
+    @given(counts3, st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_departure_inverse(self, counts, cls_idx):
+        matrix = TrafficMatrix(counts=counts, n_levels=1)
+        assert matrix.with_arrival(cls_idx).with_departure(cls_idx) == matrix
+
+    @given(counts6, st.integers(0, 2), st.integers(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_total_flows_conserved(self, counts, cls_idx, level):
+        matrix = TrafficMatrix(counts=counts, n_levels=2)
+        grown = matrix.with_arrival(cls_idx, level)
+        assert grown.total_flows == matrix.total_flows + 1
+        assert sum(grown.per_class_totals()) == grown.total_flows
+
+
+class TestEncodingProperties:
+    @given(counts3, st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_single_level_dimension(self, counts, cls_idx):
+        event = FlowEvent(matrix_before=counts, app_class_index=cls_idx, snr_level=0)
+        x = encode_event(event)
+        assert x.shape == (len(APP_CLASSES) + 1,)
+        assert x[cls_idx] == counts[cls_idx] + 1
+
+    @given(counts6, st.integers(0, 2), st.integers(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_two_level_dimension_and_slot(self, counts, cls_idx, level):
+        event = FlowEvent(matrix_before=counts, app_class_index=cls_idx, snr_level=level)
+        x = encode_event(event)
+        assert x.shape == (2 * len(APP_CLASSES) + 2,)
+        slot = cls_idx * 2 + level
+        assert x[slot] == counts[slot] + 1
+        assert x[-2] == cls_idx and x[-1] == level
+
+
+class TestShaperProperties:
+    @given(
+        st.floats(1e3, 1e8),
+        st.floats(1e-4, 1.0),
+        st.floats(0.0, 0.9),
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shaping_never_improves_qos(self, thr, delay, loss, extra_delay, extra_loss):
+        qos = FlowQoS(thr, delay, loss)
+        shaped = Shaper(delay_s=extra_delay, loss_rate=extra_loss).apply_to_qos(qos)
+        assert shaped.throughput_bps <= qos.throughput_bps
+        assert shaped.delay_s >= qos.delay_s
+        assert shaped.loss_rate >= qos.loss_rate - 1e-12
+        assert shaped.loss_rate <= 1.0
+
+
+class TestIqxProperties:
+    @given(
+        st.floats(-10.0, 40.0),
+        st.floats(0.1, 50.0),
+        st.floats(0.1, 20.0),
+        st.floats(0.1, 1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_falling_curve_monotone_nonincreasing(self, alpha, beta, gamma, lo):
+        model = IQXModel(alpha=alpha, beta=beta, gamma=gamma, qos_lo=lo, qos_hi=lo * 100)
+        qs = np.geomspace(lo, lo * 100, 12)
+        values = [model.predict(q) for q in qs]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-9

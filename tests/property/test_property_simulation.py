@@ -1,0 +1,134 @@
+"""Property-based tests: DES engine, token bucket, SVM optimality."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.svm import SVC
+from repro.netem.shaping import TokenBucket
+from repro.simulation.engine import Simulator
+from repro.wireless.dcf import simulate_dcf
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatch_order_is_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(delays)
+        assert sim.events_dispatched == len(delays)
+
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20),
+        st.floats(0.5, 50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_run_until_never_overshoots(self, delays, horizon):
+        sim = Simulator()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        end = sim.run(until=horizon)
+        assert end <= max(horizon, max(delays))
+        assert all(t <= horizon for t in times)
+
+    @given(st.lists(st.floats(0.1, 5.0), min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_process_tick_count(self, periods):
+        sim = Simulator()
+        counts = {i: 0 for i in range(len(periods))}
+
+        def proc(i, period):
+            while True:
+                counts[i] += 1
+                yield period
+
+        for i, period in enumerate(periods):
+            sim.spawn(proc(i, period))
+        sim.run(until=20.0)
+        for i, period in enumerate(periods):
+            expected = int(20.0 / period) + 1
+            assert abs(counts[i] - expected) <= 1
+
+
+class TestTokenBucketProperties:
+    @given(
+        st.floats(1e4, 1e7),
+        st.lists(st.integers(100, 12000), min_size=2, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_long_run_rate_conformance(self, rate, sizes):
+        bucket = TokenBucket(rate_bps=rate, burst_bits=12000)
+        releases = [bucket.offer(0.0, bits) for bits in sizes]
+        total_bits = sum(sizes)
+        span = max(releases)
+        if span > 0:
+            # Average release rate can exceed the token rate only by the
+            # initial burst allowance.
+            assert total_bits <= rate * span + 12000 + 1e-6
+
+    @given(
+        st.floats(1e5, 1e7),
+        st.lists(st.tuples(st.floats(0.0, 1.0), st.integers(100, 12000)),
+                 min_size=2, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_releases_monotone_and_never_early(self, rate, offers):
+        bucket = TokenBucket(rate_bps=rate)
+        t = 0.0
+        last_release = 0.0
+        for dt, bits in offers:
+            t += dt
+            release = bucket.offer(t, bits)
+            assert release >= t - 1e-12
+            assert release >= last_release - 1e-12
+            last_release = release
+
+
+class TestSvmOptimalityProperties:
+    @given(st.integers(0, 10_000), st.integers(20, 80))
+    @settings(max_examples=15, deadline=None)
+    def test_dual_feasibility_at_solution(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1.0, -1.0)
+        if len(np.unique(y)) < 2:
+            return
+        model = SVC(C=5.0, kernel="rbf").fit(X, y)
+        alpha = model.alpha_all_
+        assert (alpha >= -1e-9).all()
+        assert (alpha <= 5.0 + 1e-9).all()
+        assert abs(float(alpha @ y)) < 1e-6
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_margin_svs_on_margin(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        if len(np.unique(y)) < 2:
+            return
+        model = SVC(C=10.0, kernel="linear", tol=1e-4).fit(X, y)
+        alpha = model.alpha_all_
+        free = (alpha > 1e-6) & (alpha < 10.0 - 1e-6)
+        if not free.any():
+            return
+        margins = y[free] * model.decision_function(X[free])
+        assert np.allclose(margins, 1.0, atol=0.05)
+
+
+class TestDcfProperties:
+    @given(st.integers(1, 15), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_accounting_consistent(self, n_stations, seed):
+        result = simulate_dcf(
+            n_stations, n_transmissions=300, rng=np.random.default_rng(seed)
+        )
+        assert result.successes == 300
+        assert sum(result.per_station_successes) == 300
+        assert result.elapsed_s > 0
+        assert 0.0 <= result.collision_probability < 1.0

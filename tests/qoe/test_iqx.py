@@ -1,0 +1,103 @@
+"""Tests for the IQX hypothesis fitting."""
+
+import numpy as np
+import pytest
+
+from repro.qoe.iqx import IQXModel, fit_iqx, normalize_qos
+
+
+class TestNormalizeQos:
+    def test_unit_interval(self):
+        scaled, lo, hi = normalize_qos([1.0, 10.0, 100.0])
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+        assert lo == 1.0 and hi == 100.0
+
+    def test_log_scale_spreads_orders_of_magnitude(self):
+        scaled, _, _ = normalize_qos([1.0, 10.0, 100.0], log_scale=True)
+        assert scaled[1] == pytest.approx(0.5)
+
+    def test_linear_scale(self):
+        scaled, _, _ = normalize_qos([0.0, 5.0, 10.0], log_scale=False)
+        assert scaled[1] == pytest.approx(0.5)
+
+    def test_pinned_bounds_clip(self):
+        scaled, _, _ = normalize_qos([200.0], lo=1.0, hi=100.0)
+        assert scaled[0] == 1.0
+
+    def test_degenerate_range_raises(self):
+        with pytest.raises(ValueError):
+            normalize_qos([5.0, 5.0])
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            normalize_qos([0.0, 1.0], log_scale=True)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalize_qos([])
+
+
+class TestFitIqx:
+    def _synthetic(self, alpha, beta, gamma, noise=0.0, n=80, seed=0):
+        rng = np.random.default_rng(seed)
+        qos = np.geomspace(0.5, 500.0, n)
+        x = (np.log(qos) - np.log(qos.min())) / (np.log(qos.max()) - np.log(qos.min()))
+        qoe = alpha + beta * np.exp(-gamma * x)
+        if noise:
+            qoe = qoe + rng.normal(0, noise, n)
+        return qos, qoe
+
+    def test_recovers_parameters(self):
+        qos, qoe = self._synthetic(2.0, 10.0, 4.0)
+        model = fit_iqx(qos, qoe)
+        assert model.alpha == pytest.approx(2.0, abs=0.2)
+        assert model.beta == pytest.approx(10.0, abs=0.5)
+        assert model.gamma == pytest.approx(4.0, abs=0.5)
+        assert model.rmse < 0.05
+
+    def test_noisy_fit_reasonable(self):
+        qos, qoe = self._synthetic(2.0, 10.0, 4.0, noise=0.5)
+        model = fit_iqx(qos, qoe)
+        assert model.rmse < 1.0
+
+    def test_increasing_metric_orientation(self):
+        # PSNR-like: QoE grows toward a ceiling with QoS.
+        qos, qoe = self._synthetic(37.0, -20.0, 3.0)
+        model = fit_iqx(qos, qoe, higher_is_better=True)
+        assert model.beta < 0
+        assert model.predict(qos[-1]) > model.predict(qos[0])
+
+    def test_predict_matches_curve(self):
+        qos, qoe = self._synthetic(1.0, 5.0, 2.0)
+        model = fit_iqx(qos, qoe)
+        mid = float(np.sqrt(qos[0] * qos[-1]))
+        assert model.predict(mid) == pytest.approx(
+            float(model.predict_many([mid])[0]), rel=1e-9
+        )
+
+    def test_predict_clamps_out_of_range(self):
+        qos, qoe = self._synthetic(1.0, 5.0, 2.0)
+        model = fit_iqx(qos, qoe)
+        assert model.predict(1e9) == pytest.approx(model.predict(qos[-1]), rel=1e-6)
+        assert model.predict(1e-9) == pytest.approx(model.predict(qos[0]), rel=1e-6)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            fit_iqx([1.0, 2.0], [1.0, 2.0])
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            fit_iqx([1.0, 2.0, 3.0], [1.0])
+
+
+class TestIQXModel:
+    def test_decreasing_flag(self):
+        falling = IQXModel(alpha=1.0, beta=5.0, gamma=2.0, qos_lo=1, qos_hi=10)
+        rising = IQXModel(alpha=37.0, beta=-5.0, gamma=2.0, qos_lo=1, qos_hi=10)
+        assert falling.decreasing
+        assert not rising.decreasing
+
+    def test_monotone_prediction(self):
+        model = IQXModel(alpha=1.0, beta=5.0, gamma=2.0, qos_lo=1.0, qos_hi=100.0)
+        values = [model.predict(q) for q in (1.0, 5.0, 20.0, 100.0)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,65 @@
+"""Tests for normalized QoE / MOS helpers."""
+
+import pytest
+
+from repro.qoe.mos import mos_from_normalized, normalized_from_metric
+from repro.qoe.thresholds import QoEThreshold
+from repro.traffic.flows import CONFERENCING, WEB
+
+PLT = QoEThreshold(WEB, "plt", 3.0, higher_is_better=False)
+PSNR = QoEThreshold(CONFERENCING, "psnr", 30.0, higher_is_better=True)
+
+
+class TestNormalizedFromMetric:
+    def test_threshold_maps_to_half(self):
+        assert normalized_from_metric(3.0, PLT, best=0.5, worst=15.0) == pytest.approx(0.5)
+        assert normalized_from_metric(30.0, PSNR, best=37.0, worst=15.0) == pytest.approx(0.5)
+
+    def test_best_maps_to_one(self):
+        assert normalized_from_metric(0.5, PLT, best=0.5, worst=15.0) == pytest.approx(1.0)
+        assert normalized_from_metric(37.0, PSNR, best=37.0, worst=15.0) == pytest.approx(1.0)
+
+    def test_worst_maps_to_zero(self):
+        assert normalized_from_metric(15.0, PLT, best=0.5, worst=15.0) == pytest.approx(0.0)
+        assert normalized_from_metric(15.0, PSNR, best=37.0, worst=15.0) == pytest.approx(0.0)
+
+    def test_clamping(self):
+        assert normalized_from_metric(100.0, PLT, best=0.5, worst=15.0) == 0.0
+        assert normalized_from_metric(0.01, PLT, best=0.5, worst=15.0) == 1.0
+
+    def test_monotone_lower_is_better(self):
+        values = [
+            normalized_from_metric(v, PLT, best=0.5, worst=15.0)
+            for v in (1.0, 2.0, 4.0, 10.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_higher_is_better(self):
+        values = [
+            normalized_from_metric(v, PSNR, best=37.0, worst=15.0)
+            for v in (20.0, 28.0, 32.0, 36.0)
+        ]
+        assert values == sorted(values)
+
+    def test_acceptable_iff_above_half(self):
+        for metric in (1.0, 2.9, 3.1, 8.0):
+            norm = normalized_from_metric(metric, PLT, best=0.5, worst=15.0)
+            assert (norm >= 0.5) == PLT.is_acceptable(metric)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalized_from_metric(1.0, PLT, best=2.0, worst=2.0)
+        with pytest.raises(ValueError):
+            # Threshold outside [best, worst].
+            normalized_from_metric(1.0, PLT, best=5.0, worst=15.0)
+
+
+class TestMos:
+    def test_range_mapping(self):
+        assert mos_from_normalized(0.0) == 1.0
+        assert mos_from_normalized(1.0) == 5.0
+        assert mos_from_normalized(0.5) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            mos_from_normalized(1.5)

@@ -1,0 +1,40 @@
+"""Tests for QoE acceptability thresholds."""
+
+import pytest
+
+from repro.qoe.thresholds import DEFAULT_THRESHOLDS, QoEThreshold, threshold_for_class
+from repro.traffic.flows import APP_CLASSES, CONFERENCING, STREAMING, WEB
+
+
+class TestDefaults:
+    def test_all_classes_covered(self):
+        assert set(DEFAULT_THRESHOLDS) == set(APP_CLASSES)
+
+    def test_paper_values(self):
+        assert DEFAULT_THRESHOLDS[WEB].value == 3.0  # 3 s PLT (Sec 5.3)
+        assert DEFAULT_THRESHOLDS[STREAMING].value == 5.0  # 5 s startup (Fig 3)
+        assert DEFAULT_THRESHOLDS[CONFERENCING].higher_is_better
+
+    def test_lookup(self):
+        assert threshold_for_class(WEB) is DEFAULT_THRESHOLDS[WEB]
+        with pytest.raises(ValueError):
+            threshold_for_class("gaming")
+
+
+class TestQoEThreshold:
+    def test_lower_is_better(self):
+        thr = QoEThreshold(WEB, "plt", 3.0, higher_is_better=False)
+        assert thr.is_acceptable(2.9)
+        assert thr.is_acceptable(3.0)
+        assert not thr.is_acceptable(3.1)
+
+    def test_higher_is_better(self):
+        thr = QoEThreshold(CONFERENCING, "psnr", 30.0, higher_is_better=True)
+        assert thr.is_acceptable(30.0)
+        assert thr.is_acceptable(36.0)
+        assert not thr.is_acceptable(29.9)
+
+    def test_label_values(self):
+        thr = QoEThreshold(WEB, "plt", 3.0, higher_is_better=False)
+        assert thr.label(1.0) == 1
+        assert thr.label(10.0) == -1

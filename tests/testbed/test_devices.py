@@ -1,0 +1,75 @@
+"""Tests for device models and the QoE training sweep."""
+
+import numpy as np
+import pytest
+
+from repro.apps.web import WebApp
+from repro.testbed.devices import MobileDevice, TrainingDevice
+from repro.traffic.flows import APP_CLASSES
+
+
+class TestMobileDevice:
+    def test_app_lifecycle(self):
+        device = MobileDevice(device_id=0)
+        assert device.is_idle
+        device.start_app("web")
+        assert device.active_app == "web"
+        with pytest.raises(RuntimeError):
+            device.start_app("streaming")
+        device.stop_app()
+        assert device.is_idle
+
+    def test_mobility(self):
+        device = MobileDevice(device_id=0, snr_db=53.0)
+        device.move_to(14.0)
+        assert device.snr_db == 14.0
+
+
+class TestTrainingDevice:
+    def test_sweep_sample_count(self, rng):
+        device = TrainingDevice()
+        samples = device.run_qoe_sweep(
+            WebApp(), rates_bps=[1e6, 5e6], delays_s=[0.01, 0.1],
+            runs_per_point=3, rng=rng,
+        )
+        assert len(samples) == 2 * 2 * 3
+
+    def test_sweep_monotone_trend(self, rng):
+        # Better shaping profile -> better (lower) page load time, on
+        # average across the noisy repeats.
+        device = TrainingDevice()
+        good = device.run_qoe_sweep(
+            WebApp(), rates_bps=[10e6], delays_s=[0.01], runs_per_point=10, rng=rng
+        )
+        bad = device.run_qoe_sweep(
+            WebApp(), rates_bps=[0.3e6], delays_s=[0.2], runs_per_point=10, rng=rng
+        )
+        assert np.mean([q for _, q in good]) < np.mean([q for _, q in bad])
+
+    def test_noise_free_sweep_deterministic(self):
+        device = TrainingDevice()
+        a = device.run_qoe_sweep(
+            WebApp(), [1e6], [0.05], runs_per_point=2, qos_noise=0.0
+        )
+        assert a[0] == a[1]
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            TrainingDevice().run_qoe_sweep(WebApp(), [1e6], [0.05], qos_noise=0.1)
+
+    def test_collect_training_data_all_classes(self, rng):
+        data = TrainingDevice().collect_training_data(
+            APP_CLASSES, rates_bps=[1e6, 10e6], delays_s=[0.02], runs_per_point=2,
+            rng=rng,
+        )
+        assert set(data) == set(APP_CLASSES)
+        for samples in data.values():
+            assert len(samples) == 4
+            for qos, qoe in samples:
+                assert qos > 0 and np.isfinite(qoe)
+
+    def test_runs_per_point_validated(self, rng):
+        with pytest.raises(ValueError):
+            TrainingDevice().run_qoe_sweep(
+                WebApp(), [1e6], [0.05], runs_per_point=0, rng=rng
+            )

@@ -1,0 +1,106 @@
+"""Tests for the EPC model."""
+
+import pytest
+
+from repro.testbed.epc import (
+    AttachError,
+    EvolvedPacketCore,
+    HomeSubscriberServer,
+    MobilityManagementEntity,
+    Subscription,
+)
+
+
+class TestHss:
+    def test_provision_and_lookup(self):
+        hss = HomeSubscriberServer()
+        hss.provision(Subscription(imsi="001010000000001", msisdn="5550000001"))
+        assert hss.lookup("001010000000001").msisdn == "5550000001"
+
+    def test_duplicate_imsi_rejected(self):
+        hss = HomeSubscriberServer()
+        sub = Subscription(imsi="1", msisdn="2")
+        hss.provision(sub)
+        with pytest.raises(ValueError):
+            hss.provision(sub)
+
+    def test_unknown_imsi_attach_error(self):
+        with pytest.raises(AttachError):
+            HomeSubscriberServer().lookup("missing")
+
+
+class TestMme:
+    def test_attach_detach_cycle(self):
+        hss = HomeSubscriberServer()
+        hss.provision(Subscription("1", "2"))
+        mme = MobilityManagementEntity(hss)
+        mme.attach("1")
+        assert "1" in mme.attached
+        mme.detach("1")
+        assert "1" not in mme.attached
+
+    def test_double_attach_rejected(self):
+        hss = HomeSubscriberServer()
+        hss.provision(Subscription("1", "2"))
+        mme = MobilityManagementEntity(hss)
+        mme.attach("1")
+        with pytest.raises(AttachError):
+            mme.attach("1")
+
+    def test_capacity_bound(self):
+        # The E-40's 8-UE software limit from the paper.
+        hss = HomeSubscriberServer()
+        for i in range(10):
+            hss.provision(Subscription(str(i), str(i)))
+        mme = MobilityManagementEntity(hss, max_ues=8)
+        for i in range(8):
+            mme.attach(str(i))
+        with pytest.raises(AttachError, match="capacity"):
+            mme.attach("8")
+
+
+class TestEvolvedPacketCore:
+    def test_full_attach_allocates_bearer(self):
+        epc = EvolvedPacketCore(max_ues=4)
+        epc.provision_sims(4)
+        bearer = epc.attach_ue("00101" + "0" * 10)
+        assert bearer.ue_ip.startswith("10.45.0.")
+        assert bearer.teid >= 1
+        assert epc.attached_count == 1
+
+    def test_unique_ips_and_teids(self):
+        epc = EvolvedPacketCore(max_ues=4)
+        epc.provision_sims(4)
+        bearers = [epc.attach_ue(f"00101{i:010d}") for i in range(4)]
+        assert len({b.ue_ip for b in bearers}) == 4
+        assert len({b.teid for b in bearers}) == 4
+
+    def test_detach_frees_slot(self):
+        epc = EvolvedPacketCore(max_ues=1)
+        epc.provision_sims(2)
+        epc.attach_ue("00101" + "0" * 10)
+        with pytest.raises(AttachError):
+            epc.attach_ue(f"00101{1:010d}")
+        epc.detach_ue("00101" + "0" * 10)
+        epc.attach_ue(f"00101{1:010d}")
+        assert epc.attached_count == 1
+
+    def test_pgw_byte_counters(self):
+        epc = EvolvedPacketCore()
+        epc.provision_sims(1)
+        imsi = "00101" + "0" * 10
+        epc.attach_ue(imsi)
+        epc.pgw.forward(imsi, 1000)
+        epc.pgw.forward(imsi, 500)
+        assert epc.pgw.bytes_forwarded[imsi] == 1500
+
+    def test_pgw_rejects_negative(self):
+        epc = EvolvedPacketCore()
+        with pytest.raises(ValueError):
+            epc.pgw.forward("x", -1)
+
+    def test_unknown_imsi_attach_fails_cleanly(self):
+        epc = EvolvedPacketCore()
+        with pytest.raises(AttachError):
+            epc.attach_ue("not-provisioned")
+        assert epc.attached_count == 0

@@ -1,0 +1,64 @@
+"""Tests for arrival schedules and flow events."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.arrival import (
+    FlowEvent,
+    random_matrix_sequence,
+    trace_matrix_sequence,
+)
+
+
+class TestFlowEvent:
+    def test_matrix_after_increments_slot(self):
+        event = FlowEvent(matrix_before=(1, 0, 2), app_class_index=1, snr_level=0)
+        assert event.matrix_after == (1, 1, 2)
+
+    def test_slot_with_two_levels(self):
+        # Layout is class-major: (web_lo, web_hi, str_lo, str_hi, conf_lo, conf_hi).
+        event = FlowEvent(
+            matrix_before=(0, 0, 0, 0, 0, 0), app_class_index=1, snr_level=1
+        )
+        assert event.slot == 3
+        assert event.matrix_after == (0, 0, 0, 1, 0, 0)
+
+
+class TestRandomSequence:
+    def test_length_and_bounds(self, rng):
+        matrices = random_matrix_sequence(100, max_per_class=10, rng=rng, max_total=10)
+        assert len(matrices) == 100
+        assert all(1 <= sum(m) <= 10 for m in matrices)
+        assert all(all(0 <= v <= 10 for v in m) for m in matrices)
+
+    def test_balanced_covers_light_and_heavy(self, rng):
+        matrices = random_matrix_sequence(400, max_per_class=10, rng=rng, max_total=10)
+        totals = [sum(m) for m in matrices]
+        assert min(totals) <= 2
+        assert max(totals) >= 9
+
+    def test_unbalanced_mode(self, rng):
+        matrices = random_matrix_sequence(
+            50, max_per_class=5, rng=rng, balanced=False
+        )
+        assert all(all(v <= 5 for v in m) for m in matrices)
+
+    def test_deterministic_given_seed(self):
+        a = random_matrix_sequence(20, 10, np.random.default_rng(3), max_total=10)
+        b = random_matrix_sequence(20, 10, np.random.default_rng(3), max_total=10)
+        assert a == b
+
+    def test_invalid_steps(self, rng):
+        with pytest.raises(ValueError):
+            random_matrix_sequence(0, 10, rng)
+
+
+class TestTraceSequence:
+    def test_filters_empty_and_oversized(self):
+        matrices = [(0, 0, 0), (1, 2, 0), (5, 5, 5), (2, 0, 0)]
+        out = trace_matrix_sequence(matrices, max_total=8)
+        assert out == [(1, 2, 0), (2, 0, 0)]
+
+    def test_no_cap_keeps_everything_nonzero(self):
+        matrices = [(0, 0, 0), (9, 9, 9)]
+        assert trace_matrix_sequence(matrices) == [(9, 9, 9)]

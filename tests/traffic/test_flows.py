@@ -1,0 +1,64 @@
+"""Tests for flow and application-class descriptors."""
+
+import pytest
+
+from repro.traffic.flows import (
+    APP_CLASSES,
+    CONFERENCING,
+    DEFAULT_PROFILES,
+    STREAMING,
+    WEB,
+    AppProfile,
+    Flow,
+    FlowRequest,
+)
+
+
+class TestAppProfile:
+    def test_default_profiles_cover_all_classes(self):
+        assert set(DEFAULT_PROFILES) == set(APP_CLASSES)
+
+    def test_conferencing_is_inelastic(self):
+        assert not DEFAULT_PROFILES[CONFERENCING].elastic
+        assert DEFAULT_PROFILES[WEB].elastic
+        assert DEFAULT_PROFILES[STREAMING].elastic
+
+    def test_delay_sensitivity_flags(self):
+        assert DEFAULT_PROFILES[WEB].delay_sensitive
+        assert DEFAULT_PROFILES[CONFERENCING].delay_sensitive
+        assert not DEFAULT_PROFILES[STREAMING].delay_sensitive
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile(WEB, demand_bps=0.0)
+        with pytest.raises(ValueError):
+            AppProfile(WEB, demand_bps=1e6, burstiness=0.5)
+
+
+class TestFlow:
+    def test_unique_ids(self):
+        a = Flow(app_class=WEB, snr_db=53.0, client_id=1)
+        b = Flow(app_class=WEB, snr_db=53.0, client_id=1)
+        assert a.flow_id != b.flow_id
+
+    def test_profile_lookup(self):
+        flow = Flow(app_class=STREAMING, snr_db=53.0, client_id=2)
+        assert flow.profile is DEFAULT_PROFILES[STREAMING]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(app_class="gaming", snr_db=53.0, client_id=1)
+
+
+class TestFlowRequest:
+    def test_unclassified_request(self):
+        request = FlowRequest(client_id=3)
+        assert request.app_class is None
+
+    def test_classified_copy(self):
+        request = FlowRequest(client_id=3, snr_db=20.0)
+        classified = request.classified(WEB)
+        assert classified.app_class == WEB
+        assert classified.snr_db == 20.0
+        assert classified.client_id == 3
+        assert request.app_class is None  # original untouched

@@ -1,0 +1,105 @@
+"""Tests for the synthetic per-class trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.flows import CONFERENCING, STREAMING, WEB
+from repro.traffic.generators import (
+    ConferencingTraceGenerator,
+    StreamingTraceGenerator,
+    WebTraceGenerator,
+    generator_for_class,
+)
+
+
+@pytest.fixture
+def gen_rng():
+    return np.random.default_rng(7)
+
+
+class TestConferencing:
+    def test_rate_near_target(self, gen_rng):
+        gen = ConferencingTraceGenerator(bitrate_bps=1.5e6)
+        trace = gen.generate(20.0, gen_rng)
+        assert trace.mean_rate_bps() == pytest.approx(1.5e6, rel=0.35)
+
+    def test_near_cbr(self, gen_rng):
+        trace = ConferencingTraceGenerator().generate(20.0, gen_rng)
+        rates = trace.rate_series(1.0)
+        # Peak-to-mean well below the web generator's burstiness.
+        assert max(rates) / np.mean(rates) < 3.0
+
+    def test_contains_audio_packets(self, gen_rng):
+        trace = ConferencingTraceGenerator(audio_bytes=160).generate(5.0, gen_rng)
+        assert any(p.size_bytes == 160 for p in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConferencingTraceGenerator(bitrate_bps=0.0)
+
+
+class TestStreaming:
+    def test_startup_burst_faster_than_steady(self, gen_rng):
+        gen = StreamingTraceGenerator(media_bitrate_bps=4e6, startup_buffer_s=10.0)
+        trace = gen.generate(60.0, gen_rng)
+        rates = trace.rate_series(1.0)
+        startup = np.mean(rates[:3])
+        steady = np.mean(rates[10:])
+        assert startup > 1.5 * steady
+
+    def test_steady_rate_near_media_bitrate(self, gen_rng):
+        gen = StreamingTraceGenerator(media_bitrate_bps=4e6)
+        trace = gen.generate(120.0, gen_rng)
+        steady = trace.window(20.0, 120.0)
+        assert steady.mean_rate_bps() == pytest.approx(4e6, rel=0.35)
+
+    def test_on_off_structure(self, gen_rng):
+        gen = StreamingTraceGenerator(media_bitrate_bps=4e6, chunk_duration_s=5.0)
+        trace = gen.generate(60.0, gen_rng)
+        rates = trace.rate_series(0.5)[10:]
+        idle = sum(1 for r in rates if r < 1e5)
+        assert idle > len(rates) * 0.2  # OFF periods exist
+
+
+class TestWeb:
+    def test_bursts_then_silence(self, gen_rng):
+        gen = WebTraceGenerator(load_window_s=3.0, think_time_s=8.0)
+        trace = gen.generate(120.0, gen_rng)
+        rates = trace.rate_series(1.0)
+        idle = sum(1 for r in rates if r == 0.0)
+        assert idle > len(rates) * 0.3
+
+    def test_page_bytes_scale(self, gen_rng):
+        small = WebTraceGenerator(page_bytes_mean=0.5e6).generate(60.0, gen_rng)
+        big = WebTraceGenerator(page_bytes_mean=4e6).generate(
+            60.0, np.random.default_rng(7)
+        )
+        assert big.total_bytes > small.total_bytes
+
+
+class TestGeneratorRegistry:
+    def test_lookup(self):
+        assert isinstance(generator_for_class(WEB), WebTraceGenerator)
+        assert isinstance(generator_for_class(STREAMING), StreamingTraceGenerator)
+        assert isinstance(
+            generator_for_class(CONFERENCING), ConferencingTraceGenerator
+        )
+
+    def test_kwargs_forwarded(self):
+        gen = generator_for_class(STREAMING, media_bitrate_bps=8e6)
+        assert gen.media_bitrate_bps == 8e6
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            generator_for_class("gaming")
+
+    def test_traces_are_class_distinguishable(self, gen_rng):
+        # The per-class rate/burstiness contrast that the classifier and
+        # the capacity region rely on must be present.
+        web = generator_for_class(WEB).generate(30.0, gen_rng)
+        conf = generator_for_class(CONFERENCING).generate(30.0, gen_rng)
+        web_rates = [r for r in web.rate_series(1.0)]
+        conf_rates = [r for r in conf.rate_series(1.0)]
+        web_cv = np.std(web_rates) / (np.mean(web_rates) + 1e-9)
+        conf_cv = np.std(conf_rates) / (np.mean(conf_rates) + 1e-9)
+        assert web_cv > 2 * conf_cv

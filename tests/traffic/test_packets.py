@@ -1,0 +1,77 @@
+"""Tests for packet traces."""
+
+import pytest
+
+from repro.traffic.packets import Packet, PacketTrace
+
+
+def _trace(times_sizes):
+    return PacketTrace(Packet(t, s) for t, s in times_sizes)
+
+
+class TestPacket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(-1.0, 100)
+        with pytest.raises(ValueError):
+            Packet(0.0, 0)
+
+
+class TestPacketTrace:
+    def test_sorted_on_construction(self):
+        trace = _trace([(2.0, 10), (1.0, 20), (3.0, 30)])
+        assert [p.timestamp for p in trace] == [1.0, 2.0, 3.0]
+
+    def test_len_and_getitem(self):
+        trace = _trace([(0.0, 10), (1.0, 20)])
+        assert len(trace) == 2
+        assert trace[1].size_bytes == 20
+
+    def test_duration_and_bytes(self):
+        trace = _trace([(1.0, 100), (4.0, 300)])
+        assert trace.duration_s == 3.0
+        assert trace.total_bytes == 400
+
+    def test_mean_rate(self):
+        trace = _trace([(0.0, 1000), (1.0, 1000)])
+        assert trace.mean_rate_bps() == pytest.approx(16000.0)
+
+    def test_mean_rate_degenerate(self):
+        assert _trace([(0.0, 10)]).mean_rate_bps() == 0.0
+        assert PacketTrace([]).mean_rate_bps() == 0.0
+
+    def test_window(self):
+        trace = _trace([(0.0, 1), (1.0, 2), (2.0, 3), (3.0, 4)])
+        window = trace.window(1.0, 3.0)
+        assert [p.size_bytes for p in window] == [2, 3]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            _trace([(0.0, 1)]).window(2.0, 1.0)
+
+    def test_shifted(self):
+        trace = _trace([(1.0, 10)]).shifted(2.5)
+        assert trace[0].timestamp == 3.5
+
+    def test_retagged(self):
+        trace = _trace([(1.0, 10)]).retagged(7)
+        assert trace[0].flow_tag == 7
+
+    def test_merge_interleaves(self):
+        a = _trace([(0.0, 1), (2.0, 1)])
+        b = _trace([(1.0, 2), (3.0, 2)])
+        merged = PacketTrace.merge([a, b])
+        assert [p.timestamp for p in merged] == [0.0, 1.0, 2.0, 3.0]
+        assert merged.total_bytes == 6
+
+    def test_rate_series_bins(self):
+        trace = _trace([(0.0, 1000), (0.5, 1000), (1.5, 1000)])
+        series = trace.rate_series(1.0)
+        assert len(series) == 2
+        assert series[0] == pytest.approx(16000.0)
+        assert series[1] == pytest.approx(8000.0)
+
+    def test_rate_series_validation(self):
+        with pytest.raises(ValueError):
+            _trace([(0.0, 1)]).rate_series(0.0)
+        assert PacketTrace([]).rate_series(1.0) == []

@@ -1,0 +1,68 @@
+"""Tests for the 802.11e-style background access category.
+
+Section 4.2 of the paper: a rejected flow can be "admitted in a low
+priority access category, such as in 802.11e" instead of dropped. The
+fluid WiFi cell models that as strict-priority service.
+"""
+
+import pytest
+
+from repro.wireless.fluid import FluidWiFiCell, OfferedFlow
+
+
+def _flows(specs, start_id=0):
+    return [
+        OfferedFlow(start_id + i, "web", demand, snr)
+        for i, (demand, snr) in enumerate(specs)
+    ]
+
+
+class TestBackgroundAccessCategory:
+    def test_background_does_not_touch_priority(self):
+        cell = FluidWiFiCell(capacity_cap_bps=20e6)
+        priority = _flows([(6e6, 53.0), (5e6, 53.0)])
+        alone = cell.allocate(priority)
+        with_bg = cell.allocate(
+            priority, background=_flows([(6e6, 53.0)] * 3, start_id=10)
+        )
+        for fid in (0, 1):
+            assert with_bg[fid].throughput_bps == pytest.approx(
+                alone[fid].throughput_bps, rel=0.05
+            )
+
+    def test_background_gets_leftover_capacity(self):
+        cell = FluidWiFiCell()
+        priority = _flows([(5e6, 53.0)])
+        bg = _flows([(5e6, 53.0)], start_id=10)
+        result = cell.allocate(priority, background=bg)
+        assert result[10].throughput_bps > 1e6  # real residual service
+
+    def test_background_starves_under_saturation(self):
+        cell = FluidWiFiCell()
+        # Priority demand alone exceeds the cell's airtime.
+        priority = _flows([(30e6, 53.0)] * 3)
+        bg = _flows([(5e6, 53.0)], start_id=10)
+        result = cell.allocate(priority, background=bg)
+        assert result[10].throughput_bps < 1e5
+
+    def test_background_rides_high_delay(self):
+        cell = FluidWiFiCell()
+        result = cell.allocate(
+            _flows([(5e6, 53.0)]), background=_flows([(1e6, 53.0)], start_id=10)
+        )
+        assert result[10].delay_s >= result[0].delay_s
+
+    def test_background_only_cell(self):
+        cell = FluidWiFiCell()
+        result = cell.allocate([], background=_flows([(2e6, 53.0)], start_id=10))
+        assert result[10].throughput_bps == pytest.approx(2e6, rel=0.01)
+
+    def test_empty_everything(self):
+        assert FluidWiFiCell().allocate([], background=[]) == {}
+
+    def test_ids_do_not_collide(self):
+        cell = FluidWiFiCell()
+        result = cell.allocate(
+            _flows([(1e6, 53.0)]), background=_flows([(1e6, 53.0)], start_id=99)
+        )
+        assert set(result) == {0, 99}

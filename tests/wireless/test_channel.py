@@ -1,0 +1,103 @@
+"""Tests for channel models and SNR binning."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import (
+    HIGH_SNR_DB,
+    LOW_SNR_DB,
+    SnrBinner,
+    friis_snr_db,
+    log_distance_snr_db,
+)
+
+
+class TestPropagation:
+    def test_friis_snr_decreases_with_distance(self):
+        near = friis_snr_db(20.0, 1.0)
+        far = friis_snr_db(20.0, 50.0)
+        assert near > far
+
+    def test_friis_6db_per_doubling(self):
+        a = friis_snr_db(20.0, 10.0)
+        b = friis_snr_db(20.0, 20.0)
+        assert a - b == pytest.approx(6.02, abs=0.1)
+
+    def test_friis_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            friis_snr_db(20.0, 0.0)
+
+    def test_log_distance_exponent(self):
+        a = log_distance_snr_db(20.0, 10.0, exponent=3.0)
+        b = log_distance_snr_db(20.0, 100.0, exponent=3.0)
+        assert a - b == pytest.approx(30.0, abs=1e-6)
+
+    def test_shadowing_needs_rng(self):
+        with pytest.raises(ValueError):
+            log_distance_snr_db(20.0, 10.0, shadowing_sigma_db=4.0)
+
+    def test_shadowing_adds_spread(self):
+        rng = np.random.default_rng(0)
+        values = [
+            log_distance_snr_db(20.0, 10.0, shadowing_sigma_db=6.0, rng=rng)
+            for _ in range(100)
+        ]
+        assert np.std(values) > 2.0
+
+    def test_near_ap_snr_is_high(self):
+        # A phone a metre from the AP should comfortably decode top MCS.
+        assert log_distance_snr_db(20.0, 1.0) > 40.0
+
+
+class TestSnrBinner:
+    def test_two_level_default(self):
+        binner = SnrBinner.two_level()
+        assert binner.n_levels == 2
+        assert binner.level_index(20.0) == 0
+        assert binner.level_index(50.0) == 1
+
+    def test_boundary_is_inclusive_upper(self):
+        binner = SnrBinner(boundaries_db=(38.0,))
+        assert binner.level_index(38.0) == 1
+        assert binner.level_index(37.999) == 0
+
+    def test_paper_representatives(self):
+        binner = SnrBinner.two_level()
+        assert binner.representative(0) == LOW_SNR_DB
+        assert binner.representative(1) == HIGH_SNR_DB
+
+    def test_single_level(self):
+        binner = SnrBinner.single_level()
+        assert binner.n_levels == 1
+        assert binner.level_index(-10.0) == 0
+        assert binner.level_index(90.0) == 0
+        assert binner.representative(0) == HIGH_SNR_DB
+
+    def test_three_levels(self):
+        binner = SnrBinner(boundaries_db=(20.0, 40.0))
+        assert binner.n_levels == 3
+        assert binner.level_index(10.0) == 0
+        assert binner.level_index(30.0) == 1
+        assert binner.level_index(60.0) == 2
+
+    def test_level_names(self):
+        binner = SnrBinner.two_level()
+        assert binner.level(10.0).name == "low"
+        assert binner.level(50.0).name == "high"
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            SnrBinner(boundaries_db=(40.0, 20.0))
+
+    def test_duplicate_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            SnrBinner(boundaries_db=(20.0, 20.0))
+
+    def test_custom_names_validated(self):
+        with pytest.raises(ValueError):
+            SnrBinner(boundaries_db=(38.0,), names=("only-one",))
+
+    def test_custom_representatives(self):
+        binner = SnrBinner(boundaries_db=(10.0,), representatives_db=(0.0, 30.0))
+        assert binner.representative(0) == 0.0
+        assert binner.representative(1) == 30.0

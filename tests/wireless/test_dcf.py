@@ -1,0 +1,78 @@
+"""Tests for the slotted DCF contention simulator."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.dcf import DcfParameters, simulate_dcf
+from repro.wireless.fluid import FluidWiFiCell
+
+
+@pytest.fixture(scope="module")
+def runs():
+    rng = np.random.default_rng(8)
+    return {
+        n: simulate_dcf(n, n_transmissions=1500, rng=rng) for n in (1, 2, 5, 10, 20)
+    }
+
+
+class TestDcfBehaviour:
+    def test_single_station_never_collides(self, runs):
+        assert runs[1].collisions == 0
+        assert runs[1].collision_probability == 0.0
+
+    def test_collision_probability_grows_with_contenders(self, runs):
+        probs = [runs[n].collision_probability for n in (2, 5, 10, 20)]
+        assert probs == sorted(probs)
+        assert probs[-1] > probs[0]
+
+    def test_efficiency_degrades_with_contenders(self, runs):
+        effs = [runs[n].efficiency for n in (1, 2, 5, 10, 20)]
+        assert effs[0] > effs[-1]
+        # One station on a clean channel is reasonably efficient.
+        assert effs[0] > 0.5
+
+    def test_long_run_fairness(self):
+        result = simulate_dcf(8, n_transmissions=4000, rng=np.random.default_rng(9))
+        assert result.fairness_index > 0.95
+
+    def test_deterministic_given_seed(self):
+        a = simulate_dcf(5, 500, rng=np.random.default_rng(7))
+        b = simulate_dcf(5, 500, rng=np.random.default_rng(7))
+        assert a.successes == b.successes
+        assert a.collisions == b.collisions
+        assert a.elapsed_s == b.elapsed_s
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulate_dcf(0)
+        with pytest.raises(ValueError):
+            simulate_dcf(2, 0)
+        with pytest.raises(ValueError):
+            DcfParameters(cw_min=0)
+        with pytest.raises(ValueError):
+            DcfParameters(cw_min=100, cw_max=10)
+
+    def test_tx_time_composition(self):
+        params = DcfParameters()
+        assert params.tx_time_s == pytest.approx(
+            params.payload_bits / params.phy_rate_bps + params.sifs_s + params.ack_s
+        )
+
+
+class TestFluidCalibration:
+    def test_fluid_contention_tracks_dcf(self, runs):
+        """The fluid cell's cheap contention model must track the DCF
+        simulation's efficiency degradation within a loose band."""
+        cell = FluidWiFiCell()
+        base = runs[1].efficiency
+        for n in (5, 10, 20):
+            dcf_relative = runs[n].efficiency / base
+            fluid_relative = cell.airtime_budget(n) / cell.airtime_budget(1)
+            assert fluid_relative == pytest.approx(dcf_relative, abs=0.25)
+
+    def test_both_models_monotone_in_n(self, runs):
+        cell = FluidWiFiCell()
+        fluid = [cell.airtime_budget(n) for n in (1, 2, 5, 10, 20)]
+        dcf = [runs[n].efficiency for n in (1, 2, 5, 10, 20)]
+        assert fluid == sorted(fluid, reverse=True)
+        assert dcf[0] >= dcf[-1]

@@ -1,0 +1,66 @@
+"""Tests for the LTE scheduling disciplines (RR / max-CQI / PF)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.wireless.lte import LteCell, LteFlowConfig
+
+
+def _run(scheduler, snrs, demand=40e6, duration=2.0):
+    sim = Simulator()
+    cell = LteCell(sim, scheduler=scheduler, queue_limit=50)
+    offered = [(LteFlowConfig(i, snr), demand) for i, snr in enumerate(snrs)]
+    return cell.run_constant_bitrate(offered, duration_s=duration)
+
+
+SNRS = [30.0, 30.0, 0.0]  # two good UEs, one cell-edge UE
+
+
+class TestSchedulers:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            LteCell(Simulator(), scheduler="wfq")
+        with pytest.raises(ValueError):
+            LteCell(Simulator(), scheduler="pf", pf_window=0.5)
+
+    def test_maxcqi_starves_cell_edge(self):
+        results = _run("maxcqi", SNRS)
+        # The edge UE gets (essentially) nothing while good UEs feast.
+        assert results[2].throughput_bps < 0.05 * results[0].throughput_bps
+
+    def test_rr_serves_cell_edge(self):
+        results = _run("rr", SNRS)
+        assert results[2].throughput_bps > 0
+
+    def test_maxcqi_maximizes_cell_throughput(self):
+        total = {
+            s: sum(q.throughput_bps for q in _run(s, SNRS).values())
+            for s in ("rr", "maxcqi")
+        }
+        assert total["maxcqi"] >= total["rr"]
+
+    def test_pf_between_rr_and_maxcqi_on_fairness(self):
+        def jain(results):
+            x = np.array([q.throughput_bps for q in results.values()])
+            return float(x.sum() ** 2 / (len(x) * (x**2).sum()))
+
+        fairness = {s: jain(_run(s, SNRS)) for s in ("rr", "maxcqi", "pf")}
+        assert fairness["rr"] >= fairness["pf"] - 0.1
+        assert fairness["pf"] > fairness["maxcqi"]
+
+    def test_pf_tracks_equal_channels_like_rr(self):
+        # With identical CQIs the disciplines coincide (equal shares).
+        equal = [25.0, 25.0, 25.0]
+        pf = _run("pf", equal)
+        rates = [q.throughput_bps for q in pf.values()]
+        assert max(rates) < 1.3 * min(rates)
+
+    def test_all_schedulers_conserve_capacity(self):
+        sim = Simulator()
+        peak = LteCell(sim).bandwidth_hz * 5.5547 * 0.75  # CQI-15 ceiling
+        for scheduler in LteCell.SCHEDULERS:
+            total = sum(
+                q.throughput_bps for q in _run(scheduler, [30.0, 30.0]).values()
+            )
+            assert total <= peak * 1.05

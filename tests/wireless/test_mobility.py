@@ -1,0 +1,110 @@
+"""Tests for the mobility models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wireless.mobility import CellGeometry, RandomWaypoint, TwoZoneHopper
+
+
+class TestCellGeometry:
+    def test_snr_falls_with_distance(self):
+        cell = CellGeometry(radius_m=50.0)
+        assert cell.snr_at((1.0, 0.0)) > cell.snr_at((40.0, 0.0))
+
+    def test_min_distance_clamps(self):
+        cell = CellGeometry()
+        assert cell.snr_at((0.0, 0.0)) == cell.snr_at((0.5, 0.0))
+
+    def test_random_position_inside(self, rng):
+        cell = CellGeometry(radius_m=30.0)
+        for _ in range(200):
+            x, y = cell.random_position(rng)
+            assert math.hypot(x, y) <= 30.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellGeometry(radius_m=0.5, min_distance_m=1.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_cell(self, rng):
+        cell = CellGeometry(radius_m=25.0)
+        walker = RandomWaypoint(cell, rng)
+        for _ in range(100):
+            x, y = walker.step(5.0)
+            assert math.hypot(x, y) <= 25.0 + 1e-6
+
+    def test_moves_over_time(self, rng):
+        cell = CellGeometry(radius_m=25.0)
+        walker = RandomWaypoint(cell, rng, pause_range_s=(0.0, 0.0))
+        start = walker.position
+        walker.step(30.0)
+        assert walker.position != start
+
+    def test_speed_bounds_travel(self, rng):
+        cell = CellGeometry(radius_m=100.0)
+        walker = RandomWaypoint(
+            cell, rng, speed_range_mps=(1.0, 1.0), pause_range_s=(0.0, 0.0),
+            start=(0.0, 0.0),
+        )
+        before = walker.position
+        walker.step(3.0)
+        travelled = math.dist(before, walker.position)
+        assert travelled <= 3.0 + 1e-6
+
+    def test_snr_changes_with_movement(self, rng):
+        cell = CellGeometry(radius_m=40.0)
+        walker = RandomWaypoint(cell, rng, pause_range_s=(0.0, 0.0))
+        snrs = set()
+        for _ in range(50):
+            walker.step(10.0)
+            snrs.add(round(walker.snr_db(), 1))
+        assert len(snrs) > 5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RandomWaypoint(CellGeometry(), rng, speed_range_mps=(0.0, 1.0))
+        walker = RandomWaypoint(CellGeometry(), rng)
+        with pytest.raises(ValueError):
+            walker.step(-1.0)
+
+
+class TestTwoZoneHopper:
+    def test_reports_zone_snr(self, rng):
+        hopper = TwoZoneHopper(rng, high_snr_db=53.0, low_snr_db=23.0)
+        assert hopper.snr_db() in (53.0, 23.0)
+
+    def test_hops_eventually(self, rng):
+        hopper = TwoZoneHopper(rng, mean_dwell_s=10.0)
+        changed = any(hopper.step(5.0) for _ in range(100))
+        assert changed
+        assert hopper.hops >= 1
+
+    def test_hop_flips_snr(self, rng):
+        hopper = TwoZoneHopper(rng, mean_dwell_s=1.0, start_high=True)
+        before = hopper.snr_db()
+        while not hopper.step(0.5):
+            pass
+        # After an odd number of hops within one step, the zone differs
+        # from the start only if hops is odd; check consistency instead.
+        expected = hopper.high_snr_db if hopper.in_high else hopper.low_snr_db
+        assert hopper.snr_db() == expected
+        assert before in (hopper.high_snr_db, hopper.low_snr_db)
+
+    def test_dwell_statistics(self, rng):
+        hopper = TwoZoneHopper(rng, mean_dwell_s=50.0)
+        total = 0.0
+        while hopper.hops < 40:
+            hopper.step(1.0)
+            total += 1.0
+        mean_dwell = total / hopper.hops
+        assert 25.0 < mean_dwell < 100.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TwoZoneHopper(rng, mean_dwell_s=0.0)
+        hopper = TwoZoneHopper(rng)
+        with pytest.raises(ValueError):
+            hopper.step(-0.1)

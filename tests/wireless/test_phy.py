@@ -1,0 +1,73 @@
+"""Tests for the PHY rate tables."""
+
+import pytest
+
+from repro.wireless.phy import (
+    LTE_CQI_TABLE,
+    WIFI_MCS_TABLE,
+    lte_cqi_for_snr,
+    lte_efficiency_for_cqi,
+    lte_rate_for_snr,
+    wifi_rate_for_snr,
+)
+
+
+class TestWifiMcs:
+    def test_table_monotone(self):
+        snrs = [e.min_snr_db for e in WIFI_MCS_TABLE]
+        rates = [e.rate_bps for e in WIFI_MCS_TABLE]
+        assert snrs == sorted(snrs)
+        assert rates == sorted(rates)
+
+    def test_rate_monotone_in_snr(self):
+        rates = [wifi_rate_for_snr(s) for s in range(0, 60, 2)]
+        assert rates == sorted(rates)
+
+    def test_high_snr_gets_top_mcs(self):
+        assert wifi_rate_for_snr(53.0) == 65.0e6
+
+    def test_paper_low_snr_point(self):
+        # The Figure 13 'low SNR' placement (23 dB) should decode a
+        # mid-table MCS, not fall off the network.
+        rate = wifi_rate_for_snr(23.0)
+        assert 13.0e6 <= rate <= 39.0e6
+
+    def test_below_sensitivity_stays_associated(self):
+        assert wifi_rate_for_snr(-5.0) == WIFI_MCS_TABLE[0].rate_bps
+
+
+class TestLteCqi:
+    def test_cqi_range(self):
+        assert lte_cqi_for_snr(-20.0) == 1
+        assert lte_cqi_for_snr(40.0) == 15
+
+    def test_cqi_monotone(self):
+        cqis = [lte_cqi_for_snr(s) for s in range(-10, 30)]
+        assert cqis == sorted(cqis)
+
+    def test_efficiency_lookup(self):
+        assert lte_efficiency_for_cqi(15) == pytest.approx(5.5547)
+        assert lte_efficiency_for_cqi(1) == pytest.approx(0.1523)
+
+    def test_efficiency_monotone(self):
+        effs = [lte_efficiency_for_cqi(c) for c in range(1, 16)]
+        assert effs == sorted(effs)
+
+    def test_bad_cqi_raises(self):
+        with pytest.raises(ValueError):
+            lte_efficiency_for_cqi(0)
+        with pytest.raises(ValueError):
+            lte_efficiency_for_cqi(16)
+
+    def test_rate_scales_with_bandwidth(self):
+        r10 = lte_rate_for_snr(25.0, bandwidth_hz=10e6)
+        r20 = lte_rate_for_snr(25.0, bandwidth_hz=20e6)
+        assert r20 == pytest.approx(2 * r10)
+
+    def test_small_cell_peak_above_30mbps(self):
+        # The paper measured >30 Mbps on its 10 MHz-class small cell.
+        assert lte_rate_for_snr(30.0, bandwidth_hz=10e6) > 30e6
+
+    def test_table_thresholds_ascending(self):
+        snrs = [e.min_snr_db for e in LTE_CQI_TABLE]
+        assert snrs == sorted(snrs)

@@ -1,0 +1,73 @@
+"""Tests for FlowQoS and the packet-level accumulator."""
+
+import pytest
+
+from repro.wireless.qos import FlowQoS, QosAccumulator
+
+
+class TestFlowQoS:
+    def test_scalar_is_throughput_over_delay(self):
+        qos = FlowQoS(throughput_bps=4e6, delay_s=0.05)
+        assert qos.scalar() == pytest.approx(4.0 / 0.05)
+
+    def test_scalar_scale(self):
+        qos = FlowQoS(throughput_bps=4e6, delay_s=0.1)
+        assert qos.scalar(throughput_scale_bps=1e3) == pytest.approx(4000 / 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowQoS(throughput_bps=-1.0, delay_s=0.1)
+        with pytest.raises(ValueError):
+            FlowQoS(throughput_bps=1.0, delay_s=0.0)
+        with pytest.raises(ValueError):
+            FlowQoS(throughput_bps=1.0, delay_s=0.1, loss_rate=1.5)
+
+    def test_degraded(self):
+        qos = FlowQoS(throughput_bps=10e6, delay_s=0.02, loss_rate=0.1)
+        worse = qos.degraded(rate_factor=0.5, extra_delay_s=0.1)
+        assert worse.throughput_bps == pytest.approx(5e6)
+        assert worse.delay_s == pytest.approx(0.12)
+        assert worse.loss_rate == 0.1
+
+    def test_degraded_validates_factor(self):
+        with pytest.raises(ValueError):
+            FlowQoS(1e6, 0.1).degraded(rate_factor=0.0)
+
+    def test_frozen(self):
+        qos = FlowQoS(1e6, 0.1)
+        with pytest.raises(AttributeError):
+            qos.delay_s = 0.5
+
+
+class TestQosAccumulator:
+    def test_throughput_from_bits_over_window(self):
+        acc = QosAccumulator(window_s=2.0)
+        acc.record(1e6, 0.01)
+        acc.record(1e6, 0.03)
+        snap = acc.snapshot()
+        assert snap.throughput_bps == pytest.approx(1e6)
+        assert snap.delay_s == pytest.approx(0.02)
+
+    def test_loss_fraction(self):
+        acc = QosAccumulator(window_s=1.0)
+        for _ in range(8):
+            acc.record(1000, 0.01)
+        for _ in range(2):
+            acc.record_loss()
+        assert acc.snapshot().loss_rate == pytest.approx(0.2)
+
+    def test_idle_flow(self):
+        acc = QosAccumulator(window_s=1.0)
+        snap = acc.snapshot()
+        assert snap.throughput_bps == 0.0
+        assert snap.loss_rate == 0.0
+        assert snap.delay_s > 0  # FlowQoS requires positive delay
+
+    def test_negative_rejected(self):
+        acc = QosAccumulator(window_s=1.0)
+        with pytest.raises(ValueError):
+            acc.record(-1.0, 0.1)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            QosAccumulator(window_s=0.0).snapshot()

@@ -1,0 +1,101 @@
+"""Tests for the packet-level WiFi cell on the DES engine."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.wireless.wifi import WifiCell, WifiFlowConfig
+
+
+def _run(offered, duration=3.0, **cell_kwargs):
+    sim = Simulator()
+    cell = WifiCell(sim, **cell_kwargs)
+    return cell.run_constant_bitrate(offered, duration_s=duration)
+
+
+class TestWifiCell:
+    def test_light_load_delivers_demand(self):
+        results = _run([(WifiFlowConfig(0, 53.0), 2e6)])
+        assert results[0].throughput_bps == pytest.approx(2e6, rel=0.1)
+        assert results[0].loss_rate == 0.0
+
+    def test_base_delay_floor(self):
+        results = _run([(WifiFlowConfig(0, 53.0), 1e6)], base_delay_s=0.05)
+        assert results[0].delay_s >= 0.05
+
+    def test_overload_drops_packets(self):
+        results = _run([(WifiFlowConfig(0, 53.0), 60e6)], queue_limit=50)
+        assert results[0].loss_rate > 0.1
+        assert results[0].throughput_bps < 60e6
+
+    def test_txop_fairness_equal_throughput(self):
+        # Two saturated stations at different PHY rates end up with
+        # (roughly) equal throughput — the 802.11 anomaly.
+        results = _run(
+            [(WifiFlowConfig(0, 53.0), 40e6), (WifiFlowConfig(1, 14.0), 40e6)],
+            duration=2.0,
+            queue_limit=30,
+        )
+        ratio = results[0].throughput_bps / results[1].throughput_bps
+        assert 0.7 < ratio < 1.4
+
+    def test_slow_station_hurts_fast_station(self):
+        fast_alone = _run([(WifiFlowConfig(0, 53.0), 40e6)], duration=2.0, queue_limit=30)
+        with_slow = _run(
+            [(WifiFlowConfig(0, 53.0), 40e6), (WifiFlowConfig(1, 14.0), 40e6)],
+            duration=2.0,
+            queue_limit=30,
+        )
+        assert with_slow[0].throughput_bps < 0.7 * fast_alone[0].throughput_bps
+
+    def test_duplicate_flow_rejected(self):
+        sim = Simulator()
+        cell = WifiCell(sim)
+        cell.add_flow(WifiFlowConfig(0, 53.0), measure_window_s=1.0)
+        with pytest.raises(ValueError):
+            cell.add_flow(WifiFlowConfig(0, 40.0), measure_window_s=1.0)
+
+    def test_multiple_flows_all_measured(self):
+        offered = [(WifiFlowConfig(i, 53.0), 1e6) for i in range(4)]
+        results = _run(offered)
+        assert set(results) == {0, 1, 2, 3}
+        for qos in results.values():
+            assert qos.throughput_bps > 0
+
+
+class TestChannelLoss:
+    def test_no_rng_no_loss(self):
+        results = _run([(WifiFlowConfig(0, 10.0), 1e6)])
+        assert results[0].loss_rate == 0.0
+
+    def test_marginal_link_loses_frames(self):
+        import numpy as np
+
+        sim = Simulator()
+        cell = WifiCell(sim, rng=np.random.default_rng(3))
+        results = cell.run_constant_bitrate(
+            [(WifiFlowConfig(0, 10.0), 2e6)], duration_s=3.0
+        )
+        assert results[0].loss_rate > 0.05
+
+    def test_strong_link_clean_even_with_rng(self):
+        import numpy as np
+
+        sim = Simulator()
+        cell = WifiCell(sim, rng=np.random.default_rng(4))
+        results = cell.run_constant_bitrate(
+            [(WifiFlowConfig(0, 53.0), 2e6)], duration_s=2.0
+        )
+        assert results[0].loss_rate == 0.0
+
+    def test_des_loss_matches_fluid_band(self):
+        import numpy as np
+
+        from repro.wireless.fluid import _residual_loss
+
+        sim = Simulator()
+        cell = WifiCell(sim, rng=np.random.default_rng(5))
+        results = cell.run_constant_bitrate(
+            [(WifiFlowConfig(0, 12.0), 2e6)], duration_s=5.0
+        )
+        expected = _residual_loss(12.0)
+        assert results[0].loss_rate == pytest.approx(expected, abs=0.05)

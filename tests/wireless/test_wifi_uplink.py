@@ -1,0 +1,99 @@
+"""Tests for the contention-based uplink WiFi cell."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.wireless.wifi_uplink import UplinkStation, WifiUplinkCell
+
+
+def _run(offered, duration=2.0, seed=0, **kwargs):
+    sim = Simulator()
+    cell = WifiUplinkCell(sim, rng=np.random.default_rng(seed), **kwargs)
+    results = cell.run_constant_bitrate(offered, duration_s=duration)
+    return cell, results
+
+
+class TestUplinkCell:
+    def test_single_station_no_collisions(self):
+        cell, results = _run([(UplinkStation(0, 53.0), 2e6)])
+        assert cell.collisions == 0
+        assert results[0].throughput_bps == pytest.approx(2e6, rel=0.1)
+
+    def test_light_load_delivers_demand(self):
+        _, results = _run(
+            [(UplinkStation(i, 53.0), 1e6) for i in range(3)]
+        )
+        for qos in results.values():
+            assert qos.throughput_bps == pytest.approx(1e6, rel=0.15)
+
+    def test_contention_produces_collisions(self):
+        cell, _ = _run(
+            [(UplinkStation(i, 53.0), 20e6) for i in range(6)],
+            duration=1.0,
+            queue_limit=30,
+        )
+        assert cell.collisions > 0
+        assert 0.0 < cell.collision_rate < 0.6
+
+    def test_collision_rate_grows_with_stations(self):
+        rates = []
+        for n in (2, 8):
+            cell, _ = _run(
+                [(UplinkStation(i, 53.0), 20e6) for i in range(n)],
+                duration=1.0,
+                queue_limit=30,
+                seed=2,
+            )
+            rates.append(cell.collision_rate)
+        assert rates[1] > rates[0]
+
+    def test_saturation_shares_roughly_fair(self):
+        _, results = _run(
+            [(UplinkStation(i, 53.0), 20e6) for i in range(4)],
+            duration=2.0,
+            queue_limit=30,
+            seed=3,
+        )
+        rates = [q.throughput_bps for q in results.values()]
+        assert max(rates) < 2.0 * min(rates)
+
+    def test_retry_limit_drops_frames(self):
+        # Tiny CW forces constant collisions; drops must appear.
+        cell, results = _run(
+            [(UplinkStation(i, 53.0), 30e6) for i in range(6)],
+            duration=1.0,
+            cw_min=1,
+            cw_max=1,
+            retry_limit=1,
+            queue_limit=20,
+            seed=4,
+        )
+        assert any(q.loss_rate > 0 for q in results.values())
+
+    def test_uplink_anomaly_slow_station_hurts_everyone(self):
+        fast_only = _run(
+            [(UplinkStation(i, 53.0), 20e6) for i in range(3)],
+            duration=1.5,
+            queue_limit=30,
+            seed=5,
+        )[1]
+        with_slow = _run(
+            [(UplinkStation(i, 53.0), 20e6) for i in range(3)]
+            + [(UplinkStation(9, 14.0), 20e6)],
+            duration=1.5,
+            queue_limit=30,
+            seed=5,
+        )[1]
+        assert with_slow[0].throughput_bps < 0.8 * fast_only[0].throughput_bps
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WifiUplinkCell(sim, rng=np.random.default_rng(0), cw_min=0)
+        with pytest.raises(ValueError):
+            WifiUplinkCell(sim, rng=np.random.default_rng(0), retry_limit=0)
+        cell = WifiUplinkCell(sim, rng=np.random.default_rng(0))
+        cell.add_station(UplinkStation(0, 53.0), measure_window_s=1.0)
+        with pytest.raises(ValueError):
+            cell.add_station(UplinkStation(0, 40.0), measure_window_s=1.0)
