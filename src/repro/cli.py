@@ -20,7 +20,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments import figures as F
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 # name -> (description, full-scale runner, quick-scale runner)
 _COMMANDS: Dict[str, tuple] = {

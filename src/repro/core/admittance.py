@@ -201,7 +201,8 @@ class AdmittanceClassifier:
         """
         if self._phase is not Phase.ONLINE:
             raise RuntimeError("classifier is still bootstrapping")
-        if self.guard_margin == 0.0:
+        # Config sentinel set in __init__, never produced by arithmetic.
+        if self.guard_margin == 0.0:  # repro: noqa[NUM001]
             return int(self._learner.predict_one(x))
         return 1 if self._learner.margin_one(x) >= self.guard_margin else -1
 

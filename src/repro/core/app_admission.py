@@ -13,7 +13,7 @@ instance with that heuristic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exbox import AdmissionDecision, ExBox

@@ -12,7 +12,7 @@ revoked through the admittance policy (offloaded or discontinued).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.admittance import AdmittanceClassifier
 from repro.core.excr import TrafficMatrix, encode_event

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from repro.core.admittance import AdmittanceClassifier, Phase
 from repro.core.exbox import ExBox

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from repro.core.admittance import AdmittanceClassifier
 from repro.core.excr import TrafficMatrix, encode_event
 from repro.traffic.arrival import FlowEvent

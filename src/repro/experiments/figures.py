@@ -14,7 +14,7 @@ targets; see DESIGN.md's per-experiment index.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,7 +23,6 @@ from repro.core.admittance import AdmittanceClassifier
 from repro.core.baselines import MaxClientAdmission, RateBasedAdmission
 from repro.core.qoe_estimator import QoEEstimator
 from repro.experiments.datasets import (
-    LabeledSample,
     build_simulation_dataset,
     build_testbed_dataset,
 )
@@ -53,6 +52,18 @@ from repro.wireless.channel import SnrBinner
 from repro.wireless.fluid import FluidLTECell, FluidWiFiCell
 
 __all__ = [
+    "ComparisonResult",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "Fig13Result",
+    "Fig14Result",
+    "LatencyResult",
     "fig2_heatmaps",
     "fig3_snr_impact",
     "fig7_wifi_testbed",

@@ -1,0 +1,38 @@
+"""`repro.lint` — repo-aware static analysis for the ExBox reproduction.
+
+An AST-based rule engine enforcing the invariants the reproduction's
+correctness rests on: seeded randomness (DET001), order-stable iteration
+(DET002), tolerance-based float comparison (NUM001), loud numeric
+failures (NUM002), declared public API (API001/API002), and verifiable
+paper references (DOC001). See ``docs/static_analysis.md`` for the rule
+catalogue and suppression syntax (``# repro: noqa[RULE]``).
+
+Programmatic use::
+
+    from repro.lint import LintEngine, lint_source
+
+    findings = LintEngine().run([Path("src")])
+"""
+
+from repro.lint.context import RepoContext
+from repro.lint.engine import LintEngine, lint_file, lint_source
+from repro.lint.findings import Finding, sort_findings, unsuppressed
+from repro.lint.reporters import load_json_report, render_human, render_json
+from repro.lint.rules import REGISTRY, Rule, create_rules, register
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "REGISTRY",
+    "RepoContext",
+    "Rule",
+    "create_rules",
+    "lint_file",
+    "lint_source",
+    "load_json_report",
+    "register",
+    "render_human",
+    "render_json",
+    "sort_findings",
+    "unsuppressed",
+]

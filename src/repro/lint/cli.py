@@ -1,0 +1,122 @@
+"""``python -m repro.lint`` / ``repro-lint`` command-line front end.
+
+Exit codes: 0 — no unsuppressed findings; 1 — unsuppressed findings
+exist; 2 — usage error (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.lint.engine import LintEngine
+from repro.lint.reporters import render_human, render_json
+from repro.lint.rules import iter_rule_classes
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-aware static analysis for the ExBox reproduction: "
+            "determinism, numeric-safety, and API-contract rules."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(_DEFAULT_PATHS),
+        help="files or directories to lint (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-f",
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: min(8, cpu count))",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rule ids (repeatable, comma-separated ok)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in human output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_rule_args(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(part.strip() for part in value.split(",") if part.strip())
+    return out or None
+
+
+def _list_rules(stream: TextIO) -> None:
+    for cls in iter_rule_classes():
+        stream.write(f"{cls.rule_id}  {cls.summary}\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    try:
+        engine = LintEngine(
+            select=_split_rule_args(args.select),
+            ignore=_split_rule_args(args.ignore),
+            jobs=args.jobs,
+        )
+        findings = engine.run([Path(p) for p in args.paths])
+    except KeyError as exc:  # unknown rule id in --select/--ignore
+        parser.error(str(exc.args[0] if exc.args else exc))
+
+    if args.format == "json":
+        sys.stdout.write(render_json(findings) + "\n")
+    else:
+        render_human(findings, sys.stdout, show_suppressed=args.show_suppressed)
+
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

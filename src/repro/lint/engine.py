@@ -1,0 +1,216 @@
+"""Lint engine: file discovery, the shared AST walk, and parallel runs.
+
+``lint_source`` is the single-module core (also the natural unit for the
+self-tests); ``LintEngine`` adds directory traversal and a
+``concurrent.futures`` process pool so a full-tree sweep parses files in
+parallel. Findings come back fully sorted and deduplicated so output is
+byte-identical regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.context import RepoContext
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.rules import create_rules
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = ["ModuleInfo", "LintEngine", "lint_source", "lint_file", "iter_python_files"]
+
+# Rule id reserved for files the parser rejects; not a registered Rule
+# because there is no AST to visit (and it is deliberately insuppressible:
+# a file that cannot be parsed cannot be reasoned about either).
+SYNTAX_RULE_ID = "E000"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".mypy_cache", ".ruff_cache"}
+
+
+@dataclass
+class ModuleInfo:
+    """Everything rules may want to know about the module being linted."""
+
+    path: Optional[Path]
+    relpath: str
+    source: str
+    tree: ast.Module
+    context: RepoContext
+    in_package: bool = False
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def filename(self) -> str:
+        return self.relpath.rsplit("/", 1)[-1]
+
+    def path_parts(self) -> Tuple[str, ...]:
+        return tuple(self.relpath.split("/"))
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    context: Optional[RepoContext] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    path: Optional[Path] = None,
+    in_package: bool = False,
+) -> List[Finding]:
+    """Lint one module's source text; the core everything else wraps."""
+    context = context if context is not None else RepoContext()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1) - 1
+        return [
+            Finding(
+                path=relpath,
+                line=line,
+                col=max(col, 0),
+                rule_id=SYNTAX_RULE_ID,
+                message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+            )
+        ]
+
+    module = ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        context=context,
+        in_package=in_package,
+        lines=source.splitlines(),
+    )
+
+    rules = [r for r in create_rules(select, ignore) if r.should_check(module)]
+    findings: List[Finding] = []
+    handler_table = []
+    for rule in rules:
+        rule.begin_module(module)
+        handler_table.append((rule, rule.handlers()))
+
+    for node in ast.walk(tree):
+        node_type = type(node).__name__
+        for rule, handlers in handler_table:
+            handler = handlers.get(node_type)
+            if handler is None:
+                continue
+            produced = handler(node, module)
+            if produced:
+                findings.extend(produced)
+
+    for rule, _ in handler_table:
+        findings.extend(rule.finish_module(module))
+
+    suppressions = SuppressionIndex(source)
+    return sort_findings(suppressions.apply(f) for f in findings)
+
+
+def lint_file(
+    path: Path,
+    context: Optional[RepoContext] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    context = context if context is not None else RepoContext.discover(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Finding(
+                path=_relpath(path, context),
+                line=1,
+                col=0,
+                rule_id=SYNTAX_RULE_ID,
+                message=f"file cannot be read: {exc}",
+            )
+        ]
+    return lint_source(
+        source,
+        relpath=_relpath(path, context),
+        context=context,
+        select=select,
+        ignore=ignore,
+        path=path,
+        in_package=(path.parent / "__init__.py").exists(),
+    )
+
+
+def _relpath(path: Path, context: RepoContext) -> str:
+    path = path.resolve()
+    if context.root:
+        try:
+            return path.relative_to(context.root).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen = set()
+    ordered: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts)) and "egg-info" not in str(p)
+            )
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(path)
+    return ordered
+
+
+# Top-level so ProcessPoolExecutor can pickle it.
+def _lint_file_worker(args) -> List[Finding]:
+    path, context, select, ignore = args
+    return lint_file(Path(path), context=context, select=select, ignore=ignore)
+
+
+class LintEngine:
+    """Full-tree runs: discovery, shared context, optional parallelism."""
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.select = tuple(select) if select else None
+        self.ignore = tuple(ignore) if ignore else None
+        self.jobs = jobs
+
+    def run(self, paths: Sequence[Path]) -> List[Finding]:
+        files = iter_python_files(Path(p) for p in paths)
+        if not files:
+            return []
+        context = RepoContext.discover(files[0])
+        jobs = self.jobs or min(8, os.cpu_count() or 1)
+        jobs = max(1, min(jobs, len(files)))
+        if jobs == 1 or len(files) < 4:
+            results = [
+                lint_file(f, context=context, select=self.select, ignore=self.ignore)
+                for f in files
+            ]
+        else:
+            work = [(str(f), context, self.select, self.ignore) for f in files]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_lint_file_worker, work, chunksize=4))
+        merged: List[Finding] = []
+        for result in results:
+            merged.extend(result)
+        return sort_findings(merged)

@@ -1,0 +1,57 @@
+"""The :class:`Finding` record shared by rules, reporters, and the CLI.
+
+A finding is an immutable value object so it can be sorted, deduplicated,
+hashed, and shipped across process boundaries by the parallel engine
+without ceremony. ``suppressed`` is carried on the record (rather than
+filtering suppressed findings out) so reporters can show what was
+silenced and the CLI can compute its exit code from one list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["Finding", "sort_findings", "unsuppressed"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = False
+
+    @property
+    def location(self) -> Tuple[str, int, int]:
+        return (self.path, self.line, self.col)
+
+    def suppress(self) -> "Finding":
+        return replace(self, suppressed=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=str(payload["rule_id"]),
+            message=str(payload["message"]),
+            suppressed=bool(payload.get("suppressed", False)),
+        )
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Deterministic report order: path, then line/col, then rule id."""
+    return sorted(set(findings))
+
+
+def unsuppressed(findings: Iterable[Finding]) -> List[Finding]:
+    return [f for f in findings if not f.suppressed]

@@ -1,0 +1,73 @@
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+The JSON schema is versioned and round-trips through
+:func:`load_json_report` so tooling (CI annotations, dashboards) can
+consume lint output without re-parsing text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, TextIO
+
+from repro.lint.findings import Finding, sort_findings, unsuppressed
+
+__all__ = ["render_human", "render_json", "load_json_report"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(
+    findings: Iterable[Finding],
+    stream: TextIO,
+    show_suppressed: bool = False,
+) -> None:
+    """``path:line:col: RULE message`` lines plus a summary tail."""
+    findings = sort_findings(findings)
+    active = unsuppressed(findings)
+    shown = findings if show_suppressed else active
+    for f in shown:
+        tag = " (suppressed)" if f.suppressed else ""
+        stream.write(f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.message}{tag}\n")
+    n_suppressed = len(findings) - len(active)
+    if active:
+        by_rule = _counts(active)
+        detail = ", ".join(f"{rid}×{n}" for rid, n in sorted(by_rule.items()))
+        stream.write(f"\n{len(active)} finding(s) [{detail}]")
+    else:
+        stream.write("clean: no unsuppressed findings")
+    if n_suppressed:
+        stream.write(f" ({n_suppressed} suppressed)")
+    stream.write("\n")
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    findings = sort_findings(findings)
+    active = unsuppressed(findings)
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "total": len(findings),
+            "unsuppressed": len(active),
+            "suppressed": len(findings) - len(active),
+            "by_rule": _counts(active),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_json_report(text: str) -> List[Finding]:
+    """Inverse of :func:`render_json` (findings only)."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != JSON_SCHEMA_VERSION:
+        raise ValueError(f"unsupported report version: {version!r}")
+    return [Finding.from_dict(item) for item in payload["findings"]]
+
+
+def _counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+    return counts

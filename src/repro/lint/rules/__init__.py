@@ -1,0 +1,15 @@
+"""Rule registry. Importing this package registers the shipped rule pack.
+
+Future PRs add a rule by dropping a module here, decorating the class
+with :func:`repro.lint.rules.base.register`, and importing it below.
+"""
+
+from repro.lint.rules.base import REGISTRY, Rule, create_rules, iter_rule_classes, register
+
+# Importing for the @register side effect wires each pack into REGISTRY.
+from repro.lint.rules import api as _api  # noqa: F401
+from repro.lint.rules import determinism as _determinism  # noqa: F401
+from repro.lint.rules import docs as _docs  # noqa: F401
+from repro.lint.rules import numeric as _numeric  # noqa: F401
+
+__all__ = ["REGISTRY", "Rule", "register", "create_rules", "iter_rule_classes"]

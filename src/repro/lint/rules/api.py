@@ -1,0 +1,192 @@
+"""API-contract rules: API001 (`__all__` hygiene), API002 (mutable defaults).
+
+The reproduction's public surface is what downstream PRs (sharding,
+async hot paths, multi-backend) will refactor against; `__all__` is the
+machine-checkable statement of that surface, and mutable default
+arguments are the classic way shared state sneaks into an API that
+looks pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+__all__ = ["DunderAllConsistency", "MutableDefaultArgument"]
+
+# pytest collects these by filename; they are not import API.
+_NON_API_FILES = ("conftest.py", "setup.py")
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module body, looking through top-level `if`/`try` (conditional
+    imports, TYPE_CHECKING blocks) one level deep."""
+    for stmt in tree.body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            for sub in [*stmt.body, *stmt.orelse]:
+                yield sub
+        elif isinstance(stmt, ast.Try):
+            for sub in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                yield sub
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    yield sub
+
+
+@register
+class DunderAllConsistency(Rule):
+    rule_id = "API001"
+    summary = "missing or inconsistent __all__ in a public module"
+    rationale = (
+        "`__all__` is the declared public surface later PRs refactor "
+        "against. A public def/class missing from it is an accidental "
+        "export; a name listed but never defined is an API lie that "
+        "breaks `from module import *` and documentation tooling."
+    )
+
+    def should_check(self, module) -> bool:
+        if not module.in_package:
+            return False  # scripts (examples/) have no import surface
+        name = module.filename
+        if name in _NON_API_FILES or name.startswith("test_"):
+            return False
+        return True
+
+    def finish_module(self, module) -> Iterator[Finding]:
+        tree = module.tree
+        dunder_all: Optional[ast.Assign] = None
+        listed: Optional[List[str]] = None
+        defined: Set[str] = set()
+        public_defs = []  # (name, node)
+
+        for stmt in _top_level_statements(tree):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                defined.add(stmt.name)
+                if not stmt.name.startswith("_"):
+                    public_defs.append((stmt.name, stmt))
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        defined.add(target.id)
+                        if target.id == "__all__":
+                            dunder_all = stmt
+                            listed = _string_elements(stmt.value)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for el in target.elts:
+                            if isinstance(el, ast.Name):
+                                defined.add(el.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    defined.add(stmt.target.id)
+            elif isinstance(stmt, ast.AugAssign):
+                # `__all__ += [...]` — treat as dynamic, skip consistency.
+                if isinstance(stmt.target, ast.Name) and stmt.target.id == "__all__":
+                    return
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    defined.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return  # re-export module; cannot check statically
+                    defined.add(alias.asname or alias.name)
+
+        if dunder_all is None:
+            if public_defs:
+                names = ", ".join(sorted(n for n, _ in public_defs)[:5])
+                yield self.finding_at(
+                    module,
+                    1,
+                    0,
+                    f"public module defines {len(public_defs)} public "
+                    f"name(s) ({names}{'…' if len(public_defs) > 5 else ''}) "
+                    "but no __all__",
+                )
+            return
+        if listed is None:
+            return  # dynamically built __all__; out of scope
+
+        listed_set = set(listed)
+        for name in listed:
+            if name not in defined:
+                yield self.finding(
+                    module,
+                    dunder_all,
+                    f"__all__ lists `{name}` which is not defined in the module",
+                )
+        for name, node in public_defs:
+            if name not in listed_set:
+                yield self.finding(
+                    module,
+                    node,
+                    f"public {type(node).__name__.replace('Def', '').lower()} "
+                    f"`{name}` is not listed in __all__ (export it or rename "
+                    "with a leading underscore)",
+                )
+
+
+def _string_elements(value: ast.expr) -> Optional[List[str]]:
+    """Elements of a literal list/tuple of strings, else None."""
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    out: List[str] = []
+    for el in value.elts:
+        if isinstance(el, ast.Constant) and isinstance(el.value, str):
+            out.append(el.value)
+        else:
+            return None
+    return out
+
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+}
+
+
+@register
+class MutableDefaultArgument(Rule):
+    rule_id = "API002"
+    summary = "mutable default argument"
+    rationale = (
+        "Default values are evaluated once at definition time, so a "
+        "mutable default is shared across every call — state leaks "
+        "between invocations (and, here, between simulated experiments). "
+        "Default to None and construct inside the function."
+    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, module) -> Iterator[Finding]:
+        return self._check(node, module)
+
+    def visit_AsyncFunctionDef(self, node, module) -> Iterator[Finding]:
+        return self._check(node, module)
+
+    def visit_Lambda(self, node: ast.Lambda, module) -> Iterator[Finding]:
+        return self._check(node, module)
+
+    def _check(self, node, module) -> Iterator[Finding]:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and self._is_mutable(default):
+                yield self.finding(
+                    module,
+                    default,
+                    "mutable default argument is shared across calls; use "
+                    "None and construct inside the function",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func.id in _MUTABLE_CALLS
+            if isinstance(func, ast.Attribute):
+                return func.attr in _MUTABLE_CALLS
+        return False

@@ -1,0 +1,116 @@
+"""Rule framework: one :class:`Rule` subclass per check.
+
+A rule participates in a single shared AST walk per module. The engine
+discovers handler methods by name — ``visit_Call``, ``visit_Compare``,
+``visit_comprehension``, … — and dispatches each node to every rule that
+declares a handler for its type, so adding a rule never adds another
+tree traversal. Rules may also implement ``begin_module`` (pre-walk
+setup, e.g. import-alias tracking) and ``finish_module`` (whole-module
+checks such as ``__all__`` consistency).
+
+Rules are instantiated fresh for every module, so per-module state kept
+on ``self`` cannot leak between files or between parallel workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Iterator, List, Optional, Type
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
+
+__all__ = ["Rule", "REGISTRY", "register", "create_rules", "iter_rule_classes"]
+
+_HANDLER_PREFIX = "visit_"
+
+REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a rule_id")
+    if cls.rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+class Rule:
+    """Base class for all checks. Subclass, set metadata, add handlers."""
+
+    rule_id: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def should_check(self, module: "ModuleInfo") -> bool:
+        """Whether this rule applies to ``module`` at all."""
+        return True
+
+    def begin_module(self, module: "ModuleInfo") -> None:
+        """Pre-walk hook; collect imports/aliases here."""
+
+    def finish_module(self, module: "ModuleInfo") -> Iterator[Finding]:
+        """Post-walk hook for whole-module checks."""
+        return iter(())
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def finding(
+        self, module: "ModuleInfo", node: ast.AST, message: str
+    ) -> Finding:
+        return self.finding_at(
+            module,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+    def finding_at(
+        self, module: "ModuleInfo", line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+    def handlers(self) -> Dict[str, Callable]:
+        """Node-type name -> bound handler, discovered by prefix."""
+        table: Dict[str, Callable] = {}
+        for name in dir(self):
+            if name.startswith(_HANDLER_PREFIX):
+                table[name[len(_HANDLER_PREFIX):]] = getattr(self, name)
+        return table
+
+
+def iter_rule_classes() -> List[Type[Rule]]:
+    """All registered rule classes, in rule-id order."""
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+
+
+def create_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """Instantiate the registered rules, honouring select/ignore filters."""
+    selected = {s.upper() for s in select} if select else None
+    ignored = {s.upper() for s in ignore} if ignore else set()
+    unknown = (selected or set()) | ignored
+    unknown -= set(REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    rules: List[Rule] = []
+    for cls in iter_rule_classes():
+        if selected is not None and cls.rule_id not in selected:
+            continue
+        if cls.rule_id in ignored:
+            continue
+        rules.append(cls())
+    return rules

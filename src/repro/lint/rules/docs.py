@@ -1,0 +1,66 @@
+"""DOC001: docstring paper references must exist in docs/paper_mapping.md.
+
+The mapping file is the contract between this codebase and the ExBox
+paper: every figure and section a docstring claims to implement must be
+catalogued there, otherwise the claim is unverifiable (a typo'd figure
+number survives forever). The rule is repo-aware — it reads the figure
+and section inventory from the discovered mapping file, and stays silent
+in repos that have no mapping at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import extract_refs
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+__all__ = ["UnmappedPaperReference"]
+
+_DOCSTRING_OWNERS = (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class UnmappedPaperReference(Rule):
+    rule_id = "DOC001"
+    summary = "docstring cites a figure/section absent from paper_mapping.md"
+    rationale = (
+        "docs/paper_mapping.md is the ledger tying code to the paper; a "
+        "docstring citing a figure or section the ledger does not know "
+        "cannot be cross-checked against the reproduction targets. Add "
+        "the figure/section to the mapping (with its implementing module) "
+        "or correct the reference."
+    )
+
+    def should_check(self, module) -> bool:
+        return module.context.has_mapping
+
+    def finish_module(self, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _DOCSTRING_OWNERS):
+                continue
+            doc = ast.get_docstring(node, clean=False)
+            if not doc:
+                continue
+            # The docstring is the first statement; its constant starts on
+            # doc_expr.lineno, so line offsets within the text are additive.
+            doc_expr = node.body[0]
+            base_line = getattr(doc_expr, "lineno", 1)
+            for ref in extract_refs(doc):
+                if ref.kind == "figure":
+                    if module.context.knows_figure(ref.value):
+                        continue
+                    label = f"Figure {ref.value}"
+                else:
+                    if module.context.knows_section(ref.value):
+                        continue
+                    label = f"§{ref.value}"
+                yield self.finding_at(
+                    module,
+                    base_line + ref.line_offset,
+                    0,
+                    f"docstring cites {label}, which is not catalogued in "
+                    "docs/paper_mapping.md",
+                )

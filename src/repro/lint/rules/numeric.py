@@ -1,0 +1,122 @@
+"""Numeric-safety rules: NUM001 (float equality), NUM002 (swallowed errors).
+
+The QoE Estimator's IQX fits and the Admittance Classifier's SMO solver
+are floating-point pipelines; exact `==` against float expressions and
+silently-swallowed exceptions in those kernels both turn tiny numeric
+drift into silently wrong experiment tables instead of loud failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+__all__ = ["FloatEquality", "SwallowedNumericError"]
+
+_FLOAT_CALLS = {"float"}
+_FLOAT_ATTR_CALLS = {"float16", "float32", "float64", "longdouble"}
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Syntactic 'this is floating-point' evidence.
+
+    Deliberately conservative: a float literal anywhere in the operand, a
+    true division, or an explicit float()/np.float64() conversion. Pure
+    integer or object comparisons never match, so `status == 2` and
+    `labels == y` stay legal.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_float_expr(node.left) or _is_float_expr(node.right)
+    if isinstance(node, ast.IfExp):
+        return _is_float_expr(node.body) or _is_float_expr(node.orelse)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _FLOAT_CALLS:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _FLOAT_ATTR_CALLS:
+            return True
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    rule_id = "NUM001"
+    summary = "exact equality comparison on a float expression"
+    rationale = (
+        "`==`/`!=` on floating-point values is sensitive to rounding of "
+        "the last bit, so a refactor that merely reorders arithmetic can "
+        "flip experiment outcomes. Compare with `np.isclose`/"
+        "`math.isclose` or an explicit tolerance. Exact sentinel "
+        "comparisons that are genuinely bit-safe (e.g. against a stored "
+        "constant never produced by arithmetic) may be suppressed."
+    )
+
+    def visit_Compare(self, node: ast.Compare, module) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_expr(left) or _is_float_expr(right):
+                yield self.finding(
+                    module,
+                    node,
+                    "float equality comparison; use np.isclose/math.isclose "
+                    "or an explicit tolerance",
+                )
+                break  # one finding per comparison chain is enough
+
+
+# Path segments marking the numeric kernels this rule patrols.
+_KERNEL_DIRS = {"ml", "wireless", "qoe"}
+
+
+@register
+class SwallowedNumericError(Rule):
+    rule_id = "NUM002"
+    summary = "blanket except swallowing errors in a numeric kernel"
+    rationale = (
+        "In `ml/`, `wireless/`, and `qoe/`, a bare `except:` or "
+        "`except Exception:` that does not re-raise converts numeric bugs "
+        "(NaNs, shape errors) into silently wrong results. Catch the "
+        "specific exception you expect, or re-raise."
+    )
+
+    def should_check(self, module) -> bool:
+        parts = set(module.path_parts())
+        return "repro" in parts and bool(parts & _KERNEL_DIRS)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler, module) -> Iterator[Finding]:
+        if not self._is_blanket(node.type):
+            return
+        # A handler that re-raises (bare `raise` or raise-from) is a
+        # legitimate cleanup/translation site, not a swallow.
+        if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+            return
+        what = "bare `except:`" if node.type is None else "`except Exception`"
+        yield self.finding(
+            module,
+            node,
+            f"{what} swallows errors in a numeric kernel; catch the "
+            "specific exception or re-raise",
+        )
+
+    @staticmethod
+    def _is_blanket(type_node) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Name):
+            return type_node.id in {"Exception", "BaseException"}
+        if isinstance(type_node, ast.Tuple):
+            return any(
+                isinstance(el, ast.Name) and el.id in {"Exception", "BaseException"}
+                for el in type_node.elts
+            )
+        return False

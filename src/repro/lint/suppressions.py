@@ -1,0 +1,70 @@
+"""Per-line suppression comments: ``# repro: noqa[RULE1,RULE2]``.
+
+A bare ``# repro: noqa`` silences every rule on that line; the bracketed
+form silences only the named rules. Comments are located with
+:mod:`tokenize` rather than a per-line regex so that string literals
+containing the marker text do not accidentally suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+from repro.lint.findings import Finding
+
+__all__ = ["SuppressionIndex"]
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?", re.IGNORECASE
+)
+
+# Sentinel meaning "every rule is suppressed on this line".
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+class SuppressionIndex:
+    """Maps physical line numbers to the set of rule ids silenced there."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        for line, rules in _iter_markers(source):
+            merged = self._by_line.get(line, frozenset()) | rules
+            self._by_line[line] = merged
+
+    def rules_for_line(self, line: int) -> FrozenSet[str]:
+        return self._by_line.get(line, frozenset())
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self._by_line.get(finding.line)
+        if not rules:
+            return False
+        return rules == _ALL or finding.rule_id.upper() in rules
+
+    def apply(self, finding: Finding) -> Finding:
+        return finding.suppress() if self.is_suppressed(finding) else finding
+
+
+def _iter_markers(source: str):
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(tok.string)
+            if match is None:
+                continue
+            yield tok.start[0], _parse_rules(match.group("rules"))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        # Unparseable source produces a syntax-error finding elsewhere;
+        # suppression markers in it are moot.
+        return
+
+
+def _parse_rules(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return _ALL
+    names = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return names or _ALL

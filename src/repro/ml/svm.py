@@ -48,7 +48,8 @@ class SVC:
         Hard cap on pair optimizations (safety valve).
     random_state:
         Seed kept for interface stability; the maximal-violating-pair
-        selection itself is deterministic.
+        selection itself is deterministic, so fits are bit-identical
+        regardless of its value. Must be an int or None.
     """
 
     def __init__(
@@ -69,7 +70,14 @@ class SVC:
             self.kernel = resolve_kernel(kernel)
         self.tol = float(tol)
         self.max_iter = int(max_iter)
-        self.random_state = random_state
+        if random_state is not None and not isinstance(
+            random_state, (int, np.integer)
+        ):
+            raise TypeError(
+                "random_state must be an int or None, got "
+                f"{type(random_state).__name__}"
+            )
+        self.random_state = None if random_state is None else int(random_state)
         self._fitted = False
 
     # ------------------------------------------------------------------

@@ -38,7 +38,8 @@ class _Node:
 def _gini(y: np.ndarray) -> float:
     if y.size == 0:
         return 0.0
-    p = np.mean(y == 1.0)
+    # Labels are the exact sentinels ±1.0, never arithmetic results.
+    p = np.mean(y == 1.0)  # repro: noqa[NUM001]
     return 2.0 * p * (1.0 - p)
 
 
@@ -99,7 +100,8 @@ class DecisionTreeClassifier:
             if distinct.size == 0:
                 continue
             # Prefix sums of positives for O(1) impurity per candidate.
-            pos = np.cumsum(ys == 1.0)
+            # Exact ±1.0 label sentinels; equality is bit-safe.
+            pos = np.cumsum(ys == 1.0)  # repro: noqa[NUM001]
             total_pos = pos[-1]
             for idx in distinct:
                 n_left = idx + 1
@@ -120,7 +122,7 @@ class DecisionTreeClassifier:
         if (
             depth >= self.max_depth
             or y.size < self.min_samples_split
-            or _gini(y) == 0.0
+            or _gini(y) <= 1e-12  # pure node; tolerance instead of == 0.0
         ):
             return node
         feature, threshold, improvement = self._best_split(X, y)

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 from repro.netem.shaping import Shaper
 from repro.testbed.base import EmulatedTestbed
 from repro.testbed.epc import EvolvedPacketCore
-from repro.wireless.channel import HIGH_SNR_DB, SnrBinner
+from repro.wireless.channel import SnrBinner
 from repro.wireless.fluid import FluidLTECell, OfferedFlow
 from repro.wireless.qos import FlowQoS
 

@@ -15,7 +15,7 @@ A :class:`FlowEvent` is the unit the harness consumes: the traffic matrix
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

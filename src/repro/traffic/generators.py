@@ -18,8 +18,6 @@ shapes the capacity region), not byte-exact fidelity to the originals.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.traffic.flows import CONFERENCING, STREAMING, WEB

@@ -18,7 +18,7 @@ flow-level questions the rest of the system asks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

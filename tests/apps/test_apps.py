@@ -34,7 +34,7 @@ class TestWebApp:
     def test_clamped_at_max(self):
         app = WebApp(max_plt_s=10.0)
         dead = FlowQoS(throughput_bps=1e3, delay_s=1.0)
-        assert app.measure_qoe(dead) == 10.0
+        assert app.measure_qoe(dead) == pytest.approx(10.0)
 
     def test_monotone_in_throughput(self):
         app = WebApp()
@@ -68,7 +68,7 @@ class TestStreamingApp:
     def test_clamped_at_max(self):
         app = StreamingApp(max_startup_s=30.0)
         dead = FlowQoS(throughput_bps=1e3, delay_s=0.5, loss_rate=0.5)
-        assert app.measure_qoe(dead) == 30.0
+        assert app.measure_qoe(dead) == pytest.approx(30.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):

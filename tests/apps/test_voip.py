@@ -36,8 +36,8 @@ class TestRFactor:
 
 class TestMosMapping:
     def test_extremes(self):
-        assert mos_from_r_factor(-5.0) == 1.0
-        assert mos_from_r_factor(150.0) == 4.5
+        assert mos_from_r_factor(-5.0) == pytest.approx(1.0)
+        assert mos_from_r_factor(150.0) == pytest.approx(4.5)
 
     def test_monotone(self):
         values = [mos_from_r_factor(r) for r in range(0, 101, 10)]

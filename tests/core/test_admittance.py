@@ -124,7 +124,8 @@ class TestOnlinePhase:
     def test_excr_protocol_aliases(self):
         clf = self._online_classifier()
         x = np.array([1.0, 1.0, 0.0, 0.0])
-        assert clf.predict_one(x) == float(clf.classify(x))
+        # Both sides are exact ±1 label sentinels, not arithmetic.
+        assert clf.predict_one(x) == float(clf.classify(x))  # repro: noqa[NUM001]
         assert clf.margin_one(x) == clf.margin(x)
 
     def test_adapts_to_boundary_shift(self):

@@ -67,7 +67,7 @@ class TestEncodeEvent:
 
     def test_matrix_after_included(self):
         event = FlowEvent(matrix_before=(0, 0, 0), app_class_index=2, snr_level=0)
-        assert encode_event(event)[2] == 1.0
+        assert encode_event(event)[2] == pytest.approx(1.0)
 
 
 class _FakeClassifier:
@@ -127,7 +127,7 @@ class TestEstimateVolume:
                 return -1.0
 
         region = ExperientialCapacityRegion(_Never(), n_levels=1)
-        assert region.estimate_volume(np.random.default_rng(1), n_samples=200) == 0.0
+        assert region.estimate_volume(np.random.default_rng(1), n_samples=200) == pytest.approx(0.0)
 
     def test_validation(self):
         region = ExperientialCapacityRegion(_FakeClassifier(), n_levels=1)

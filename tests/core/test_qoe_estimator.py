@@ -77,7 +77,7 @@ class TestEstimation:
         assert estimator.label_matrix_run(_run([])) == 1
 
     def test_threshold_accessor(self, estimator):
-        assert estimator.threshold_for(WEB).value == 3.0
+        assert estimator.threshold_for(WEB).value == pytest.approx(3.0)
 
     def test_estimates_track_truth_on_testbed(self, estimator, wifi_testbed):
         # Network-side estimates should agree with client ground truth

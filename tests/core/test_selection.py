@@ -53,7 +53,7 @@ class TestNetworkSelector:
         selector.add_cell("fresh", AdmittanceClassifier())
         result = selector.select(app_class_index=1)
         assert result.network == "fresh"
-        assert result.margins["fresh"] == 0.0
+        assert result.margins["fresh"] == pytest.approx(0.0)
 
     def test_commit_and_release_track_matrix(self):
         selector = NetworkSelector()

@@ -24,8 +24,8 @@ class TestClosedLoop:
             _RejectAll(), WiFiTestbed(), seed=1, duration_min=30
         )
         assert result.admitted == 0
-        assert result.carried_flow_minutes == 0.0
-        assert result.qoe_ok_fraction == 1.0  # vacuously perfect QoE
+        assert result.carried_flow_minutes == pytest.approx(0.0)
+        assert result.qoe_ok_fraction == pytest.approx(1.0)  # vacuously perfect QoE
 
     def test_maxclient_carries_load(self):
         result = run_closed_loop(

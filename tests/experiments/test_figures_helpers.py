@@ -56,7 +56,7 @@ class TestDefaultSchemes:
     def test_network_capacity_selected(self):
         wifi = _default_schemes("wifi", 20, 50)[1]
         lte = _default_schemes("lte", 10, 50)[1]
-        assert wifi.capacity_bps == 20.0e6
+        assert wifi.capacity_bps == pytest.approx(20.0e6)
         assert lte.capacity_bps == pytest.approx(20.8e6)
 
     def test_bootstrap_hint_respected(self):
@@ -94,8 +94,8 @@ class TestComparisonResult:
             n_bootstrap=10,
         )
         metrics = result.final_metrics()
-        assert metrics["ExBox"]["precision"] == 1.0
-        assert metrics["ExBox"]["recall"] == 0.5
+        assert metrics["ExBox"]["precision"] == pytest.approx(1.0)
+        assert metrics["ExBox"]["recall"] == pytest.approx(0.5)
         assert metrics["ExBox"]["accuracy"] == pytest.approx(2 / 3)
 
     def test_render_mentions_everything(self):

@@ -45,7 +45,7 @@ class TestEvaluateScheme:
         samples = _stream(200, seed=1)
         series = evaluate_scheme(samples, _AlwaysAdmit(), eval_every=50)
         positives = np.mean([s.y == 1 for s in samples])
-        assert series.final_recall == 1.0
+        assert series.final_recall == pytest.approx(1.0)
         assert series.final_precision == pytest.approx(positives, abs=0.01)
         assert series.final_accuracy == pytest.approx(positives, abs=0.01)
 
@@ -94,8 +94,8 @@ class TestEvaluateScheme:
         series = evaluate_scheme(
             good + bad, _AlwaysAdmit(), eval_every=50, windowed=True
         )
-        assert series.accuracy[0] == 1.0
-        assert series.accuracy[1] == 0.0
+        assert series.accuracy[0] == pytest.approx(1.0)
+        assert series.accuracy[1] == pytest.approx(0.0)
 
     def test_per_class_accuracy_keys(self):
         samples = _stream(90, seed=7)

@@ -9,13 +9,13 @@ from repro.experiments.stats import MetricSummary, separated, summarize_seeds
 class TestMetricSummary:
     def test_mean_std(self):
         summary = MetricSummary("m", (1.0, 2.0, 3.0))
-        assert summary.mean == 2.0
+        assert summary.mean == pytest.approx(2.0)
         assert summary.std == pytest.approx(1.0)
         assert summary.n == 3
 
     def test_single_value_no_ci(self):
         summary = MetricSummary("m", (5.0,))
-        assert summary.ci_halfwidth == 0.0
+        assert summary.ci_halfwidth == pytest.approx(0.0)
         assert summary.ci == (5.0, 5.0)
 
     def test_ci_contains_mean(self):
@@ -40,7 +40,7 @@ class TestSummarizeSeeds:
             lambda seed: {"a": seed * 1.0, "b": seed * 2.0}, seeds=(1, 2, 3)
         )
         assert summaries["a"].values == (1.0, 2.0, 3.0)
-        assert summaries["b"].mean == 4.0
+        assert summaries["b"].mean == pytest.approx(4.0)
 
     def test_empty_seeds_rejected(self):
         with pytest.raises(ValueError):

@@ -49,7 +49,7 @@ class TestEmptyAndBoundary:
         cell = FluidWiFiCell()
         qos = cell.allocate([OfferedFlow(0, "web", 1e3, 53.0)])[0]
         assert qos.throughput_bps == pytest.approx(1e3, rel=1e-6)
-        assert qos.loss_rate == 0.0
+        assert qos.loss_rate == pytest.approx(0.0)
 
 
 class TestDefaultsAndComposition:
@@ -90,8 +90,8 @@ class TestDefaultsAndComposition:
 
 class TestMetricConventions:
     def test_precision_default_configurable(self):
-        assert precision_score([1, 1], [-1, -1], default=0.0) == 0.0
-        assert recall_score([-1], [-1], default=0.25) == 0.25
+        assert precision_score([1, 1], [-1, -1], default=0.0) == pytest.approx(0.0)
+        assert recall_score([-1], [-1], default=0.25) == pytest.approx(0.25)
 
     def test_evaluation_series_empty_tail(self):
         series = EvaluationSeries(scheme="x")

@@ -1,0 +1,113 @@
+"""CLI contract: exit code is non-zero iff unsuppressed findings exist."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN = '''\
+"""A compliant module."""
+
+__all__ = ["answer"]
+
+
+def answer() -> int:
+    return 42
+'''
+
+DIRTY = textwrap.dedent(
+    """\
+    __all__ = []
+
+
+    def _check(x):
+        return x == 0.5
+    """
+)
+
+SUPPRESSED = DIRTY.replace("== 0.5", "== 0.5  # repro: noqa[NUM001]")
+
+
+@pytest.fixture
+def pkg(tmp_path):
+    """A throwaway package directory the engine treats as import API."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text('"""pkg."""\n\n__all__ = []\n')
+    return root
+
+
+def test_exit_zero_on_clean_tree(pkg, capsys):
+    (pkg / "good.py").write_text(CLEAN)
+    assert main([str(pkg)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(pkg, capsys):
+    (pkg / "bad.py").write_text(DIRTY)
+    assert main([str(pkg)]) == 1
+    out = capsys.readouterr().out
+    assert "NUM001" in out and "bad.py" in out
+
+
+def test_exit_zero_when_all_findings_suppressed(pkg):
+    (pkg / "quiet.py").write_text(SUPPRESSED)
+    assert main([str(pkg)]) == 0
+
+
+def test_json_format_round_trips_through_stdout(pkg, capsys):
+    (pkg / "bad.py").write_text(DIRTY)
+    assert main(["-f", "json", str(pkg)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["unsuppressed"] == 1
+    assert payload["findings"][0]["rule_id"] == "NUM001"
+
+
+def test_single_file_argument(pkg):
+    target = pkg / "bad.py"
+    target.write_text(DIRTY)
+    assert main([str(target)]) == 1
+
+
+def test_select_limits_rules(pkg):
+    (pkg / "bad.py").write_text(DIRTY)
+    assert main(["--select", "DET001", str(pkg)]) == 0
+    assert main(["--select", "NUM001", str(pkg)]) == 1
+
+
+def test_unknown_rule_is_usage_error(pkg):
+    with pytest.raises(SystemExit) as exc_info:
+        main(["--select", "NOPE999", str(pkg)])
+    assert exc_info.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as exc_info:
+        main([str(tmp_path / "does-not-exist")])
+    assert exc_info.value.code == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "DET002", "NUM001", "NUM002", "API001", "API002", "DOC001"):
+        assert rule_id in out
+
+
+def test_syntax_error_is_a_finding(pkg, capsys):
+    (pkg / "broken.py").write_text("def broken(:\n")
+    assert main([str(pkg)]) == 1
+    assert "E000" in capsys.readouterr().out
+
+
+def test_parallel_jobs_give_identical_results(pkg, capsys):
+    # Enough files to cross the engine's serial-fallback threshold.
+    for i in range(6):
+        (pkg / f"bad{i}.py").write_text(DIRTY)
+    assert main(["-f", "json", "-j", "1", str(pkg)]) == 1
+    serial = capsys.readouterr().out
+    assert main(["-f", "json", "-j", "4", str(pkg)]) == 1
+    parallel = capsys.readouterr().out
+    assert serial == parallel

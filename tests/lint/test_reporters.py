@@ -1,0 +1,65 @@
+"""Reporter contracts: JSON round-trips, human output is line-addressed."""
+
+import io
+
+from repro.lint import Finding, load_json_report, render_human, render_json
+
+
+def _sample():
+    return [
+        Finding("src/a.py", 3, 4, "NUM001", "float equality comparison"),
+        Finding("src/a.py", 9, 0, "DET001", "unseeded randomness", suppressed=True),
+        Finding("src/b.py", 1, 0, "API001", "missing __all__"),
+    ]
+
+
+class TestJson:
+    def test_round_trip_preserves_findings(self):
+        findings = _sample()
+        loaded = load_json_report(render_json(findings))
+        assert sorted(loaded) == sorted(findings)
+
+    def test_counts_block(self):
+        import json
+
+        payload = json.loads(render_json(_sample()))
+        assert payload["version"] == 1
+        assert payload["counts"]["total"] == 3
+        assert payload["counts"]["unsuppressed"] == 2
+        assert payload["counts"]["suppressed"] == 1
+        assert payload["counts"]["by_rule"] == {"API001": 1, "NUM001": 1}
+
+    def test_rejects_unknown_version(self):
+        import json
+
+        import pytest
+
+        bad = json.dumps({"version": 99, "findings": []})
+        with pytest.raises(ValueError):
+            load_json_report(bad)
+
+    def test_empty_report_round_trips(self):
+        assert load_json_report(render_json([])) == []
+
+
+class TestHuman:
+    def test_lines_and_summary(self):
+        stream = io.StringIO()
+        render_human(_sample(), stream)
+        out = stream.getvalue()
+        assert "src/a.py:3:4: NUM001 float equality comparison" in out
+        assert "src/b.py:1:0: API001 missing __all__" in out
+        # Suppressed findings are hidden by default but counted.
+        assert "src/a.py:9:0" not in out
+        assert "2 finding(s)" in out
+        assert "(1 suppressed)" in out
+
+    def test_show_suppressed(self):
+        stream = io.StringIO()
+        render_human(_sample(), stream, show_suppressed=True)
+        assert "src/a.py:9:0: DET001 unseeded randomness (suppressed)" in stream.getvalue()
+
+    def test_clean_message(self):
+        stream = io.StringIO()
+        render_human([], stream)
+        assert "clean" in stream.getvalue()

@@ -1,0 +1,90 @@
+"""`# repro: noqa[...]` suppresses exactly the named rule on that line."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def run(source):
+    return lint_source(
+        textwrap.dedent(source), relpath="src/repro/pkg/mod.py", in_package=True
+    )
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+class TestNoqa:
+    def test_named_rule_suppressed_on_that_line_only(self):
+        findings = run(
+            """\
+            __all__ = []
+            def check(x):
+                a = x == 0.5  # repro: noqa[NUM001]
+                b = x == 0.5
+                return a, b
+            """
+        )
+        num = by_rule(findings, "NUM001")
+        assert [f.line for f in num] == [3, 4]
+        assert [f.suppressed for f in num] == [True, False]
+
+    def test_named_suppression_does_not_cover_other_rules(self):
+        findings = run(
+            """\
+            __all__ = []
+            import random
+            def f(x):
+                return random.random() == 0.5  # repro: noqa[NUM001]
+            """
+        )
+        (num,) = by_rule(findings, "NUM001")
+        assert num.suppressed
+        (det,) = by_rule(findings, "DET001")
+        assert not det.suppressed  # DET001 was not named
+
+    def test_bare_noqa_suppresses_every_rule_on_the_line(self):
+        findings = run(
+            """\
+            __all__ = []
+            import random
+            def f(x):
+                return random.random() == 0.5  # repro: noqa
+            """
+        )
+        assert all(f.suppressed for f in findings if f.line == 4)
+
+    def test_multiple_rules_in_one_marker(self):
+        findings = run(
+            """\
+            __all__ = []
+            import random
+            def f(x):
+                return random.random() == 0.5  # repro: noqa[NUM001, DET001]
+            """
+        )
+        assert all(f.suppressed for f in findings if f.line == 4)
+
+    def test_marker_inside_string_literal_does_not_suppress(self):
+        findings = run(
+            """\
+            __all__ = []
+            def f(x):
+                s = "# repro: noqa[NUM001]"
+                return s, x == 0.5
+            """
+        )
+        (num,) = by_rule(findings, "NUM001")
+        assert not num.suppressed
+
+    def test_plain_noqa_without_repro_prefix_is_inert(self):
+        findings = run(
+            """\
+            __all__ = []
+            def f(x):
+                return x == 0.5  # noqa
+            """
+        )
+        (num,) = by_rule(findings, "NUM001")
+        assert not num.suppressed

@@ -90,7 +90,7 @@ class TestResolveKernel:
 
     def test_kwargs_forwarded(self):
         k = resolve_kernel("rbf", gamma=0.25)
-        assert k.gamma == 0.25
+        assert k.gamma == pytest.approx(0.25)
 
     def test_callable_passthrough(self):
         def custom(X, Z):

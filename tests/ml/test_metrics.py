@@ -33,10 +33,10 @@ class TestConfusionMatrix:
 class TestScores:
     def test_perfect(self):
         y = [1, -1, 1, -1]
-        assert precision_score(y, y) == 1.0
-        assert recall_score(y, y) == 1.0
-        assert accuracy_score(y, y) == 1.0
-        assert f1_score(y, y) == 1.0
+        assert precision_score(y, y) == pytest.approx(1.0)
+        assert recall_score(y, y) == pytest.approx(1.0)
+        assert accuracy_score(y, y) == pytest.approx(1.0)
+        assert f1_score(y, y) == pytest.approx(1.0)
 
     def test_paper_definitions(self):
         # 3 admitted, 2 of them correctly -> precision 2/3.
@@ -52,23 +52,23 @@ class TestScores:
         # high while recall exposes the conservatism.
         y_true = [1, 1, -1]
         y_pred = [-1, -1, -1]
-        assert precision_score(y_true, y_pred) == 1.0
-        assert recall_score(y_true, y_pred) == 0.0
+        assert precision_score(y_true, y_pred) == pytest.approx(1.0)
+        assert recall_score(y_true, y_pred) == pytest.approx(0.0)
 
     def test_recall_default_when_nothing_admissible(self):
         y_true = [-1, -1]
         y_pred = [-1, -1]
-        assert recall_score(y_true, y_pred) == 1.0
+        assert recall_score(y_true, y_pred) == pytest.approx(1.0)
 
     def test_f1_zero_when_no_overlap(self):
-        assert f1_score([1, -1], [-1, 1]) == 0.0
+        assert f1_score([1, -1], [-1, 1]) == pytest.approx(0.0)
 
     def test_accuracy_empty_is_zero(self):
-        assert accuracy_score([], []) == 0.0
+        assert accuracy_score([], []) == pytest.approx(0.0)
 
     def test_numpy_inputs_accepted(self):
         y = np.array([1.0, -1.0, 1.0])
-        assert accuracy_score(y, y) == 1.0
+        assert accuracy_score(y, y) == pytest.approx(1.0)
 
 
 class TestClassificationReport:
@@ -78,7 +78,7 @@ class TestClassificationReport:
         report = ClassificationReport.from_predictions(y_true, y_pred)
         assert report.n_samples == 5
         assert report.accuracy == pytest.approx(0.8)
-        assert report.precision == 1.0
+        assert report.precision == pytest.approx(1.0)
         assert report.recall == pytest.approx(2 / 3)
 
     def test_as_row_contains_metrics(self):

@@ -57,7 +57,7 @@ class TestGaussianNaiveBayes:
         X = np.column_stack([np.ones(20), np.r_[np.zeros(10), np.ones(10)]])
         y = np.array(["x"] * 10 + ["y"] * 10)
         model = GaussianNaiveBayes(var_smoothing=1e-6).fit(X, y)
-        assert model.score(X, y) == 1.0
+        assert model.score(X, y) == pytest.approx(1.0)
 
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):

@@ -104,7 +104,7 @@ class TestRetraining:
         _feed_linear(learner, 60, seed=4)
         point = np.array([1.5, 1.5])
         assert learner.margin_one(point) > 0
-        assert learner.predict_one(point) == 1.0
+        assert learner.predict_one(point) == pytest.approx(1.0)
 
     def test_is_trained_flag(self):
         learner = BatchOnlineSVM(batch_size=5)

@@ -50,19 +50,21 @@ class TestDegenerateInputs:
     def test_single_class_positive(self):
         X = np.random.default_rng(5).normal(size=(10, 2))
         model = SVC().fit(X, np.ones(10))
-        assert np.all(model.predict(X) == 1.0)
+        # predict() emits the exact sentinels ±1.0 via np.where.
+        assert np.all(model.predict(X) == 1.0)  # repro: noqa[NUM001]
         assert model.is_constant_
 
     def test_single_class_negative(self):
         X = np.random.default_rng(6).normal(size=(10, 2))
         model = SVC().fit(X, -np.ones(10))
-        assert np.all(model.predict(X) == -1.0)
+        # predict() emits the exact sentinels ±1.0 via np.where.
+        assert np.all(model.predict(X) == -1.0)  # repro: noqa[NUM001]
 
     def test_two_points(self):
         X = np.array([[0.0, 0.0], [1.0, 1.0]])
         y = np.array([-1.0, 1.0])
         model = SVC(C=10.0, kernel="linear").fit(X, y)
-        assert model.score(X, y) == 1.0
+        assert model.score(X, y) == pytest.approx(1.0)
 
     def test_empty_raises(self):
         with pytest.raises(ValueError):
@@ -131,3 +133,36 @@ class TestDeterminism:
         b = SVC(C=10.0, random_state=0).fit(X, y)
         Xt = np.random.default_rng(11).normal(size=(40, 3))
         assert np.allclose(a.decision_function(Xt), b.decision_function(Xt))
+
+    def test_fits_bit_identical_across_repeated_calls_with_same_seed(self):
+        # random_state is documented as inert: the SMO pair selection is
+        # deterministic, so repeated fits must agree to the last bit, not
+        # merely within tolerance.
+        X, y = _linear_problem(n=150, seed=12, noise=0.05)
+        Xt = np.random.default_rng(13).normal(size=(60, 3))
+        a = SVC(C=5.0, kernel="rbf", random_state=7).fit(X, y)
+        b = SVC(C=5.0, kernel="rbf", random_state=7).fit(X, y)
+        assert np.array_equal(a.alpha_all_, b.alpha_all_)
+        assert a.intercept_ == b.intercept_  # repro: noqa[NUM001] — bit-identity is the property under test
+        assert np.array_equal(a.support_vectors_, b.support_vectors_)
+        assert a.decision_function(Xt).tobytes() == b.decision_function(Xt).tobytes()
+
+    def test_bit_identical_even_across_different_seeds(self):
+        # The seed is interface-only; it must not perturb the solution.
+        X, y = _linear_problem(n=100, seed=14)
+        a = SVC(C=2.0, random_state=0).fit(X, y)
+        b = SVC(C=2.0, random_state=12345).fit(X, y)
+        assert np.array_equal(a.alpha_all_, b.alpha_all_)
+
+
+class TestRandomStateValidation:
+    def test_accepts_none_int_and_numpy_int(self):
+        assert SVC(random_state=None).random_state is None
+        assert SVC(random_state=3).random_state == 3
+        assert SVC(random_state=np.int64(9)).random_state == 9
+        assert isinstance(SVC(random_state=np.int64(9)).random_state, int)
+
+    @pytest.mark.parametrize("bad", ["7", 1.5, 2.0, (1,), [3], object()])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError, match="random_state"):
+            SVC(random_state=bad)

@@ -39,7 +39,8 @@ class TestFit:
     def test_single_class_constant(self):
         X = np.random.default_rng(3).normal(size=(10, 2))
         tree = DecisionTreeClassifier().fit(X, -np.ones(10))
-        assert np.all(tree.predict(X) == -1.0)
+        # predict() emits the exact sentinels ±1.0, never arithmetic.
+        assert np.all(tree.predict(X) == -1.0)  # repro: noqa[NUM001]
 
     def test_min_samples_split(self):
         X, y = _axis_problem(n=3)

@@ -65,7 +65,7 @@ class TestCrossValAccuracy:
         X = np.random.default_rng(4).normal(size=(12, 2))
         y = np.ones(12)
         acc = cross_val_accuracy(lambda: SVC(), X, y, n_splits=3)
-        assert acc == 1.0
+        assert acc == pytest.approx(1.0)
 
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):

@@ -10,7 +10,7 @@ from repro.wireless.qos import FlowQoS
 class TestTokenBucket:
     def test_burst_passes_immediately(self):
         bucket = TokenBucket(rate_bps=1e6, burst_bits=10000)
-        assert bucket.offer(0.0, 5000) == 0.0
+        assert bucket.offer(0.0, 5000) == pytest.approx(0.0)
 
     def test_sustained_rate_enforced(self):
         bucket = TokenBucket(rate_bps=1e6, burst_bits=1000)
@@ -43,7 +43,7 @@ class TestTokenBucket:
 class TestDelayLine:
     def test_fixed_delay(self):
         line = DelayLine(delay_s=0.2)
-        assert line.delay_for_packet() == 0.2
+        assert line.delay_for_packet() == pytest.approx(0.2)
 
     def test_jitter_bounded(self):
         rng = np.random.default_rng(0)
@@ -85,11 +85,11 @@ class TestShaper:
 
     def test_rate_cap(self):
         shaped = Shaper(rate_bps=2e6).apply_to_qos(FlowQoS(5e6, 0.03))
-        assert shaped.throughput_bps == 2e6
+        assert shaped.throughput_bps == pytest.approx(2e6)
 
     def test_rate_cap_no_boost(self):
         shaped = Shaper(rate_bps=10e6).apply_to_qos(FlowQoS(5e6, 0.03))
-        assert shaped.throughput_bps == 5e6
+        assert shaped.throughput_bps == pytest.approx(5e6)
 
     def test_delay_adds(self):
         shaped = Shaper(delay_s=0.2).apply_to_qos(FlowQoS(5e6, 0.03))
@@ -109,5 +109,5 @@ class TestShaper:
 
     def test_scaled_aggregate_rate(self):
         assert Shaper().scaled_aggregate_rate(10e6) is None
-        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(10e6) == 5e6
-        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(2e6) == 2e6
+        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(10e6) == pytest.approx(5e6)
+        assert Shaper(rate_bps=5e6).scaled_aggregate_rate(2e6) == pytest.approx(2e6)

@@ -9,8 +9,8 @@ from repro.qoe.iqx import IQXModel, fit_iqx, normalize_qos
 class TestNormalizeQos:
     def test_unit_interval(self):
         scaled, lo, hi = normalize_qos([1.0, 10.0, 100.0])
-        assert scaled.min() == 0.0 and scaled.max() == 1.0
-        assert lo == 1.0 and hi == 100.0
+        assert scaled.min() == pytest.approx(0.0) and scaled.max() == pytest.approx(1.0)
+        assert lo == pytest.approx(1.0) and hi == pytest.approx(100.0)
 
     def test_log_scale_spreads_orders_of_magnitude(self):
         scaled, _, _ = normalize_qos([1.0, 10.0, 100.0], log_scale=True)
@@ -22,7 +22,7 @@ class TestNormalizeQos:
 
     def test_pinned_bounds_clip(self):
         scaled, _, _ = normalize_qos([200.0], lo=1.0, hi=100.0)
-        assert scaled[0] == 1.0
+        assert scaled[0] == pytest.approx(1.0)
 
     def test_degenerate_range_raises(self):
         with pytest.raises(ValueError):

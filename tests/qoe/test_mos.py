@@ -24,8 +24,8 @@ class TestNormalizedFromMetric:
         assert normalized_from_metric(15.0, PSNR, best=37.0, worst=15.0) == pytest.approx(0.0)
 
     def test_clamping(self):
-        assert normalized_from_metric(100.0, PLT, best=0.5, worst=15.0) == 0.0
-        assert normalized_from_metric(0.01, PLT, best=0.5, worst=15.0) == 1.0
+        assert normalized_from_metric(100.0, PLT, best=0.5, worst=15.0) == pytest.approx(0.0)
+        assert normalized_from_metric(0.01, PLT, best=0.5, worst=15.0) == pytest.approx(1.0)
 
     def test_monotone_lower_is_better(self):
         values = [
@@ -56,9 +56,9 @@ class TestNormalizedFromMetric:
 
 class TestMos:
     def test_range_mapping(self):
-        assert mos_from_normalized(0.0) == 1.0
-        assert mos_from_normalized(1.0) == 5.0
-        assert mos_from_normalized(0.5) == 3.0
+        assert mos_from_normalized(0.0) == pytest.approx(1.0)
+        assert mos_from_normalized(1.0) == pytest.approx(5.0)
+        assert mos_from_normalized(0.5) == pytest.approx(3.0)
 
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):

@@ -11,8 +11,8 @@ class TestDefaults:
         assert set(DEFAULT_THRESHOLDS) == set(APP_CLASSES)
 
     def test_paper_values(self):
-        assert DEFAULT_THRESHOLDS[WEB].value == 3.0  # 3 s PLT (Sec 5.3)
-        assert DEFAULT_THRESHOLDS[STREAMING].value == 5.0  # 5 s startup (Fig 3)
+        assert DEFAULT_THRESHOLDS[WEB].value == pytest.approx(3.0)  # 3 s PLT (Sec 5.3)
+        assert DEFAULT_THRESHOLDS[STREAMING].value == pytest.approx(5.0)  # 5 s startup (Fig 3)
         assert DEFAULT_THRESHOLDS[CONFERENCING].higher_is_better
 
     def test_lookup(self):

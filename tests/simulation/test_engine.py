@@ -29,7 +29,7 @@ class TestScheduling:
         sim.schedule(5.0, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [5.0]
-        assert sim.now == 5.0
+        assert sim.now == pytest.approx(5.0)
 
     def test_schedule_at_absolute_time(self):
         sim = Simulator()
@@ -58,7 +58,7 @@ class TestScheduling:
         sim.schedule(10.0, lambda: fired.append(10))
         end = sim.run(until=5.0)
         assert fired == [1]
-        assert end == 5.0
+        assert end == pytest.approx(5.0)
 
     def test_events_scheduled_during_run(self):
         sim = Simulator()
@@ -88,7 +88,7 @@ class TestScheduling:
         sim.schedule(2.5, lambda: 1 / 0)
         with pytest.raises(SimulationError) as exc_info:
             sim.run()
-        assert exc_info.value.time == 2.5
+        assert exc_info.value.time == pytest.approx(2.5)
         assert isinstance(exc_info.value.original, ZeroDivisionError)
 
     def test_peek_skips_cancelled(self):
@@ -96,11 +96,11 @@ class TestScheduling:
         e = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         e.cancel()
-        assert sim.peek() == 2.0
+        assert sim.peek() == pytest.approx(2.0)
 
     def test_empty_run_returns_now(self):
         sim = Simulator()
-        assert sim.run() == 0.0
+        assert sim.run() == pytest.approx(0.0)
 
 
 class TestProcess:

@@ -45,7 +45,7 @@ class TestMatrixRun:
                 _record(WEB, 10.0, False),
             )
         )
-        assert run.median_qoe(WEB) == 3.0
+        assert run.median_qoe(WEB) == pytest.approx(3.0)
         assert run.median_qoe(STREAMING) is None
 
     def test_records_for_class(self):

@@ -22,7 +22,7 @@ class TestMobileDevice:
     def test_mobility(self):
         device = MobileDevice(device_id=0, snr_db=53.0)
         device.move_to(14.0)
-        assert device.snr_db == 14.0
+        assert device.snr_db == pytest.approx(14.0)
 
 
 class TestTrainingDevice:

@@ -51,7 +51,7 @@ class TestWiFiTestbed:
 
     def test_place_device(self, wifi_testbed):
         wifi_testbed.place_device(3, 14.0)
-        assert wifi_testbed.devices[3].snr_db == 14.0
+        assert wifi_testbed.devices[3].snr_db == pytest.approx(14.0)
 
     def test_records_carry_snr_level(self, rng):
         from repro.wireless.channel import SnrBinner

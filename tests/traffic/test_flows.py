@@ -59,6 +59,6 @@ class TestFlowRequest:
         request = FlowRequest(client_id=3, snr_db=20.0)
         classified = request.classified(WEB)
         assert classified.app_class == WEB
-        assert classified.snr_db == 20.0
+        assert classified.snr_db == pytest.approx(20.0)
         assert classified.client_id == 3
         assert request.app_class is None  # original untouched

@@ -29,7 +29,7 @@ class TestPacketTrace:
 
     def test_duration_and_bytes(self):
         trace = _trace([(1.0, 100), (4.0, 300)])
-        assert trace.duration_s == 3.0
+        assert trace.duration_s == pytest.approx(3.0)
         assert trace.total_bytes == 400
 
     def test_mean_rate(self):
@@ -37,8 +37,8 @@ class TestPacketTrace:
         assert trace.mean_rate_bps() == pytest.approx(16000.0)
 
     def test_mean_rate_degenerate(self):
-        assert _trace([(0.0, 10)]).mean_rate_bps() == 0.0
-        assert PacketTrace([]).mean_rate_bps() == 0.0
+        assert _trace([(0.0, 10)]).mean_rate_bps() == pytest.approx(0.0)
+        assert PacketTrace([]).mean_rate_bps() == pytest.approx(0.0)
 
     def test_window(self):
         trace = _trace([(0.0, 1), (1.0, 2), (2.0, 3), (3.0, 4)])
@@ -51,7 +51,7 @@ class TestPacketTrace:
 
     def test_shifted(self):
         trace = _trace([(1.0, 10)]).shifted(2.5)
-        assert trace[0].timestamp == 3.5
+        assert trace[0].timestamp == pytest.approx(3.5)
 
     def test_retagged(self):
         trace = _trace([(1.0, 10)]).retagged(7)

@@ -99,5 +99,5 @@ class TestSnrBinner:
 
     def test_custom_representatives(self):
         binner = SnrBinner(boundaries_db=(10.0,), representatives_db=(0.0, 30.0))
-        assert binner.representative(0) == 0.0
-        assert binner.representative(1) == 30.0
+        assert binner.representative(0) == pytest.approx(0.0)
+        assert binner.representative(1) == pytest.approx(30.0)

@@ -18,7 +18,7 @@ def runs():
 class TestDcfBehaviour:
     def test_single_station_never_collides(self, runs):
         assert runs[1].collisions == 0
-        assert runs[1].collision_probability == 0.0
+        assert runs[1].collision_probability == pytest.approx(0.0)
 
     def test_collision_probability_grows_with_contenders(self, runs):
         probs = [runs[n].collision_probability for n in (2, 5, 10, 20)]

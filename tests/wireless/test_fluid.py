@@ -48,7 +48,7 @@ class TestFluidWiFi:
         cell = FluidWiFiCell()
         qos = cell.allocate(_flows([(5e6, 53.0)]))[0]
         assert qos.throughput_bps == pytest.approx(5e6, rel=1e-3)
-        assert qos.loss_rate == 0.0
+        assert qos.loss_rate == pytest.approx(0.0)
         assert qos.delay_s < 0.1
 
     def test_cap_binds_aggregate(self):
@@ -83,7 +83,7 @@ class TestFluidWiFi:
     def test_elastic_overflow_no_loss(self):
         cell = FluidWiFiCell(capacity_cap_bps=4e6)
         allocation = cell.allocate(_flows([(8e6, 53.0, True)]))
-        assert allocation[0].loss_rate == 0.0
+        assert allocation[0].loss_rate == pytest.approx(0.0)
         assert allocation[0].throughput_bps <= 4e6 * 1.01
 
     def test_delay_grows_with_load(self):
@@ -142,7 +142,7 @@ class TestFluidLTE:
 
     def test_no_channel_loss_harq(self):
         qos = FluidLTECell().allocate(_flows([(1e6, -5.0)]))[0]
-        assert qos.loss_rate == 0.0
+        assert qos.loss_rate == pytest.approx(0.0)
 
     def test_cqi_determines_peak(self):
         cell = FluidLTECell()

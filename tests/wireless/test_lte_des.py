@@ -16,7 +16,7 @@ class TestLteCell:
     def test_light_load_delivers_demand(self):
         results = _run([(LteFlowConfig(0, 30.0), 2e6)])
         assert results[0].throughput_bps == pytest.approx(2e6, rel=0.1)
-        assert results[0].loss_rate == 0.0
+        assert results[0].loss_rate == pytest.approx(0.0)
 
     def test_resource_fair_not_throughput_fair(self):
         # Saturated UEs at different CQIs get equal *time*, so the

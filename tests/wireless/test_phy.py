@@ -24,7 +24,7 @@ class TestWifiMcs:
         assert rates == sorted(rates)
 
     def test_high_snr_gets_top_mcs(self):
-        assert wifi_rate_for_snr(53.0) == 65.0e6
+        assert wifi_rate_for_snr(53.0) == pytest.approx(65.0e6)
 
     def test_paper_low_snr_point(self):
         # The Figure 13 'low SNR' placement (23 dB) should decode a

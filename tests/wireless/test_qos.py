@@ -27,7 +27,7 @@ class TestFlowQoS:
         worse = qos.degraded(rate_factor=0.5, extra_delay_s=0.1)
         assert worse.throughput_bps == pytest.approx(5e6)
         assert worse.delay_s == pytest.approx(0.12)
-        assert worse.loss_rate == 0.1
+        assert worse.loss_rate == pytest.approx(0.1)
 
     def test_degraded_validates_factor(self):
         with pytest.raises(ValueError):
@@ -59,8 +59,8 @@ class TestQosAccumulator:
     def test_idle_flow(self):
         acc = QosAccumulator(window_s=1.0)
         snap = acc.snapshot()
-        assert snap.throughput_bps == 0.0
-        assert snap.loss_rate == 0.0
+        assert snap.throughput_bps == pytest.approx(0.0)
+        assert snap.loss_rate == pytest.approx(0.0)
         assert snap.delay_s > 0  # FlowQoS requires positive delay
 
     def test_negative_rejected(self):

@@ -16,7 +16,7 @@ class TestWifiCell:
     def test_light_load_delivers_demand(self):
         results = _run([(WifiFlowConfig(0, 53.0), 2e6)])
         assert results[0].throughput_bps == pytest.approx(2e6, rel=0.1)
-        assert results[0].loss_rate == 0.0
+        assert results[0].loss_rate == pytest.approx(0.0)
 
     def test_base_delay_floor(self):
         results = _run([(WifiFlowConfig(0, 53.0), 1e6)], base_delay_s=0.05)
@@ -65,7 +65,7 @@ class TestWifiCell:
 class TestChannelLoss:
     def test_no_rng_no_loss(self):
         results = _run([(WifiFlowConfig(0, 10.0), 1e6)])
-        assert results[0].loss_rate == 0.0
+        assert results[0].loss_rate == pytest.approx(0.0)
 
     def test_marginal_link_loses_frames(self):
         import numpy as np
@@ -85,7 +85,7 @@ class TestChannelLoss:
         results = cell.run_constant_bitrate(
             [(WifiFlowConfig(0, 53.0), 2e6)], duration_s=2.0
         )
-        assert results[0].loss_rate == 0.0
+        assert results[0].loss_rate == pytest.approx(0.0)
 
     def test_des_loss_matches_fluid_band(self):
         import numpy as np
