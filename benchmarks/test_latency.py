@@ -6,13 +6,27 @@ slower but still milliseconds-scale; SVM *training* latency grows
 substantially with the training-set size (~360 ms at 50 samples, >2 s
 at 1000 samples with their implementation — absolute numbers depend
 entirely on the SVM implementation, ours is a numpy SMO).
+
+With ``REPRO_OBS_EXPORT=<path>`` in the environment (CI sets
+``BENCH_obs.json``), the run is instrumented with a recording
+:class:`repro.obs.Obs` and the full metrics snapshot — the
+``latency.decision`` / ``svm.fit`` span histograms plus the ExBox
+scheme's own counters — is written to that path for artifact upload;
+``python -m repro obs --snapshot <path>`` summarizes it.
 """
 
+import os
+
 from repro.experiments.figures import latency_benchmarks
+from repro.obs import Obs, write_bench_json
 
 
 def test_latency_benchmarks(benchmark, show):
-    result = benchmark.pedantic(latency_benchmarks, rounds=1, iterations=1)
+    export = os.environ.get("REPRO_OBS_EXPORT", "").strip()
+    obs = Obs.recording() if export else None
+    result = benchmark.pedantic(
+        lambda: latency_benchmarks(obs=obs), rounds=1, iterations=1
+    )
     show(result)
 
     exbox = result.decision_ms["ExBox"]
@@ -27,3 +41,16 @@ def test_latency_benchmarks(benchmark, show):
     # Training latency grows with the training-set size (50 -> 1000).
     sizes = sorted(result.training_ms)
     assert result.training_ms[sizes[-1]] > result.training_ms[sizes[0]]
+
+    if export:
+        assert obs is not None and obs.registry.histograms()
+        write_bench_json(
+            export,
+            obs.registry,
+            meta={
+                "suite": "latency",
+                "source": "benchmarks/test_latency.py",
+                "decision_ms": result.decision_ms,
+                "training_ms": {str(k): v for k, v in result.training_ms.items()},
+            },
+        )

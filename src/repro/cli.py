@@ -6,6 +6,7 @@ Usage::
     python -m repro fig13 --quick     # reduced-scale run for smoke tests
     python -m repro all               # everything, in figure order
     python -m repro list              # what is available
+    python -m repro obs --snapshot BENCH_obs.json   # metrics summary
 
 Each command prints the same rows/series the corresponding benchmark
 asserts on (EXPERIMENTS.md records paper-vs-measured values).
@@ -113,8 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=sorted(_COMMANDS) + ["all", "list"],
-        help="figure to regenerate, 'all', or 'list'",
+        choices=sorted(_COMMANDS) + ["all", "list", "obs"],
+        help="figure to regenerate, 'all', 'list', or 'obs' "
+        "(summarize an exported metrics snapshot)",
     )
     parser.add_argument(
         "--quick",
@@ -125,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["obs"]:
+        # `repro obs` has its own options; delegate before the figure parser.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:], out=out)
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(_COMMANDS):

@@ -26,6 +26,7 @@ from repro.ml.online import BatchOnlineSVM
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SVC
 from repro.ml.validation import cross_val_accuracy
+from repro.obs.facade import NULL_OBS, Obs
 
 __all__ = ["AdmittanceClassifier", "Phase"]
 
@@ -64,6 +65,11 @@ class AdmittanceClassifier:
         values trade recall for precision (a conservative operator),
         negative values the reverse. The raw margin stays available via
         :meth:`margin` for network selection.
+    obs:
+        Observability handle (:class:`repro.obs.Obs`). The inert default
+        records nothing and changes nothing; a recording handle times
+        every retrain under the ``admittance.retrain`` span, counts
+        retrains, and logs phase transitions as structured events.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class AdmittanceClassifier:
         random_state: int = 7,
         max_buffer: Optional[int] = None,
         guard_margin: float = 0.0,
+        obs: Optional[Obs] = None,
     ) -> None:
         if not 0.0 < cv_threshold <= 1.0:
             raise ValueError("cv_threshold must be in (0, 1]")
@@ -100,10 +107,16 @@ class AdmittanceClassifier:
             max_buffer=max_buffer,
         )
         self.guard_margin = float(guard_margin)
+        self.obs = obs if obs is not None else NULL_OBS
         self._phase = Phase.BOOTSTRAP
         self._since_cv_check = 0
         self.last_cv_accuracy: Optional[float] = None
         self.bootstrap_samples_used: Optional[int] = None
+
+    def instrument(self, obs: Obs) -> None:
+        """Adopt ``obs`` unless a recording handle is already wired."""
+        if not self.obs.enabled:
+            self.obs = obs
 
     # ------------------------------------------------------------------
     # State
@@ -142,7 +155,7 @@ class AdmittanceClassifier:
             random_state=self.random_state,
         )
 
-    def observe_bootstrap(self, x, y: int) -> bool:
+    def observe_bootstrap(self, x: np.ndarray, y: int) -> bool:
         """Record one observed arrival during bootstrap.
 
         Returns True when this observation completed the bootstrap (the
@@ -152,6 +165,7 @@ class AdmittanceClassifier:
             raise RuntimeError("bootstrap is over; use observe_online")
         self._learner.add_sample(x, y)
         self._since_cv_check += 1
+        self.obs.counter("admittance.bootstrap.samples").inc()
 
         n = self.n_samples
         forced = (
@@ -167,19 +181,38 @@ class AdmittanceClassifier:
             return False
         self._since_cv_check = 0
         if self._both_classes_present():
-            self.last_cv_accuracy = self._cv_accuracy()
+            with self.obs.span("admittance.bootstrap.cv"):
+                self.last_cv_accuracy = self._cv_accuracy()
+            self.obs.gauge("admittance.bootstrap.cv_accuracy").set(
+                self.last_cv_accuracy
+            )
             passed = self.last_cv_accuracy >= self.cv_threshold
         else:
             passed = False
         if passed or forced:
-            self._go_online()
+            self._go_online(forced=forced and not passed)
             return True
         return False
 
-    def _go_online(self) -> None:
-        self._learner.retrain()
+    def _go_online(self, forced: bool = False) -> None:
+        self._retrain()
         self._phase = Phase.ONLINE
         self.bootstrap_samples_used = self.n_samples
+        self.obs.gauge("admittance.bootstrap.exit_samples").set(self.n_samples)
+        self.obs.emit(
+            "phase_transition",
+            phase=Phase.ONLINE.value,
+            samples=self.n_samples,
+            cv_accuracy=self.last_cv_accuracy,
+            forced=forced,
+        )
+
+    def _retrain(self) -> None:
+        """Retrain the online learner under the ``admittance.retrain`` span."""
+        with self.obs.span("admittance.retrain"):
+            self._learner.retrain()
+        self.obs.counter("admittance.retrains").inc()
+        self.obs.gauge("admittance.samples").set(self.n_samples)
 
     def force_online(self) -> None:
         """Exit bootstrap immediately (used when pre-seeding with an
@@ -193,7 +226,7 @@ class AdmittanceClassifier:
     # ------------------------------------------------------------------
     # Online phase
     # ------------------------------------------------------------------
-    def classify(self, x) -> int:
+    def classify(self, x: np.ndarray) -> int:
         """+1 (admissible) or -1 (inadmissible) for an encoded arrival.
 
         With a non-zero ``guard_margin`` the decision is thresholded on
@@ -206,22 +239,28 @@ class AdmittanceClassifier:
             return int(self._learner.predict_one(x))
         return 1 if self._learner.margin_one(x) >= self.guard_margin else -1
 
-    def margin(self, x) -> float:
+    def margin(self, x: np.ndarray) -> float:
         """SVM margin of an encoded arrival (network selection)."""
         if self._phase is not Phase.ONLINE:
             raise RuntimeError("classifier is still bootstrapping")
         return self._learner.margin_one(x)
 
-    def observe_online(self, x, y: int) -> bool:
+    def observe_online(self, x: np.ndarray, y: int) -> bool:
         """Record the observed outcome of an arrival; retrains at batch
         boundaries. Returns True when a retrain happened."""
         if self._phase is not Phase.ONLINE:
             raise RuntimeError("classifier is still bootstrapping")
-        return self._learner.observe(x, y)
+        # Equivalent to BatchOnlineSVM.observe(), unrolled so the retrain
+        # alone sits under the `admittance.retrain` span.
+        self._learner.add_sample(x, y)
+        if not self._learner.due_for_retrain:
+            return False
+        self._retrain()
+        return True
 
     # Convenience aliases matching the ExperientialCapacityRegion protocol.
-    def predict_one(self, x) -> float:
+    def predict_one(self, x: np.ndarray) -> float:
         return float(self.classify(x))
 
-    def margin_one(self, x) -> float:
+    def margin_one(self, x: np.ndarray) -> float:
         return self.margin(x)

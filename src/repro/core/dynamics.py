@@ -12,11 +12,12 @@ revoked through the admittance policy (offloaded or discontinued).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.admittance import AdmittanceClassifier
 from repro.core.excr import TrafficMatrix, encode_event
 from repro.core.policies import AdmittancePolicy, PolicyOutcome
+from repro.obs.facade import NULL_OBS, Obs
 from repro.traffic.arrival import FlowEvent
 from repro.traffic.flows import APP_CLASSES, Flow
 
@@ -40,10 +41,12 @@ class FlowRevalidator:
         classifier: AdmittanceClassifier,
         policy: AdmittancePolicy,
         snr_change_threshold: int = 1,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.classifier = classifier
         self.policy = policy
         self.snr_change_threshold = int(snr_change_threshold)
+        self.obs = obs if obs is not None else NULL_OBS
         self._last_levels: Dict[int, int] = {}
 
     @staticmethod
@@ -77,28 +80,30 @@ class FlowRevalidator:
         """
         if not self.classifier.is_online:
             return RevalidationResult(checked=0, revoked=(), outcomes=())
-        matrix = self.matrix_from_flows(active_flows, n_levels)
+        with self.obs.span("revalidator.poll"):
+            matrix = self.matrix_from_flows(active_flows, n_levels)
 
-        revoked: List[Flow] = []
-        outcomes: List[PolicyOutcome] = []
-        checked = 0
-        for flow, level in active_flows:
-            changed = self.needs_recheck(flow.flow_id, level)
-            if only_changed and not changed:
-                continue
-            checked += 1
-            # Rebuild X_m as if this flow were arriving into the matrix
-            # formed by the *other* flows.
-            cls_idx = APP_CLASSES.index(flow.app_class)
-            without = matrix.with_departure(cls_idx, level)
-            event = FlowEvent(
-                matrix_before=without.counts,
-                app_class_index=cls_idx,
-                snr_level=level,
-            )
-            if self.classifier.classify(encode_event(event)) < 0:
-                revoked.append(flow)
-                outcomes.append(self.policy.revoke(flow))
+            revoked: List[Flow] = []
+            outcomes: List[PolicyOutcome] = []
+            checked = 0
+            for flow, level in active_flows:
+                changed = self.needs_recheck(flow.flow_id, level)
+                if only_changed and not changed:
+                    continue
+                checked += 1
+                # Rebuild X_m as if this flow were arriving into the matrix
+                # formed by the *other* flows.
+                cls_idx = APP_CLASSES.index(flow.app_class)
+                without = matrix.with_departure(cls_idx, level)
+                event = FlowEvent(
+                    matrix_before=without.counts,
+                    app_class_index=cls_idx,
+                    snr_level=level,
+                )
+                if self.classifier.classify(encode_event(event)) < 0:
+                    revoked.append(flow)
+                    outcomes.append(self.policy.revoke(flow))
+        self.obs.counter("revalidator.rechecks").inc(checked)
         return RevalidationResult(
             checked=checked, revoked=tuple(revoked), outcomes=tuple(outcomes)
         )

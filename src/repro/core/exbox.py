@@ -18,7 +18,7 @@ Typical wiring::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.core.dynamics import FlowRevalidator, RevalidationResult
 from repro.core.excr import ExperientialCapacityRegion, TrafficMatrix, encode_event
 from repro.core.policies import AdmittancePolicy, PolicyAction, PolicyOutcome
 from repro.core.qoe_estimator import QoEEstimator
+from repro.obs.facade import NULL_OBS, Obs
 from repro.testbed.controller import MatrixRun
 from repro.traffic.arrival import FlowEvent
 from repro.traffic.flows import APP_CLASSES, Flow, FlowRequest
@@ -63,20 +64,30 @@ class ExBox:
         binner: Optional[SnrBinner] = None,
         policy: Optional[AdmittancePolicy] = None,
         flow_classifier: Optional[FlowClassifier] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.admittance = admittance
         self.qoe_estimator = qoe_estimator or QoEEstimator()
         self.binner = binner or SnrBinner.single_level()
         self.policy = policy or AdmittancePolicy()
         self.flow_classifier = flow_classifier
-        self.revalidator = FlowRevalidator(self.admittance, self.policy)
+        self.obs = obs if obs is not None else NULL_OBS
+        if self.obs.enabled:
+            self.admittance.instrument(self.obs)
+        self.revalidator = FlowRevalidator(self.admittance, self.policy, obs=self.obs)
         self._matrix = TrafficMatrix.empty(self.binner.n_levels)
         self._active: Dict[int, Flow] = {}
         self._levels: Dict[int, int] = {}
         self._background: Dict[int, Flow] = {}
 
     @classmethod
-    def with_defaults(cls, batch_size: int = 20, n_snr_levels: int = 1, **kwargs) -> "ExBox":
+    def with_defaults(
+        cls,
+        batch_size: int = 20,
+        n_snr_levels: int = 1,
+        obs: Optional[Obs] = None,
+        **kwargs: Any,
+    ) -> "ExBox":
         """A ready-to-use instance with paper-default components."""
         binner = (
             SnrBinner.single_level()
@@ -86,8 +97,9 @@ class ExBox:
             else SnrBinner(boundaries_db=tuple(np.linspace(20, 50, n_snr_levels - 1)))
         )
         return cls(
-            admittance=AdmittanceClassifier(batch_size=batch_size, **kwargs),
+            admittance=AdmittanceClassifier(batch_size=batch_size, obs=obs, **kwargs),
             binner=binner,
+            obs=obs,
         )
 
     # ------------------------------------------------------------------
@@ -121,7 +133,9 @@ class ExBox:
     # ------------------------------------------------------------------
     # QoE model training (Figure 5 left side)
     # ------------------------------------------------------------------
-    def train_qoe_estimator(self, rng: Optional[np.random.Generator] = None, **kwargs) -> None:
+    def train_qoe_estimator(
+        self, rng: Optional[np.random.Generator] = None, **kwargs: Any
+    ) -> None:
         """Run the training-device sweep and fit per-class IQX models."""
         self.qoe_estimator.train_from_device(rng=rng, **kwargs)
 
@@ -153,49 +167,72 @@ class ExBox:
         of rejections. The caller must feed the observed outcome back via
         :meth:`report_outcome` for learning to happen.
         """
-        app_class = self._resolve_class(request, packets)
-        level = self.binner.level_index(request.snr_db)
-        cls_idx = APP_CLASSES.index(app_class)
-        event = FlowEvent(
-            matrix_before=self._matrix.counts,
-            app_class_index=cls_idx,
-            snr_level=level,
-        )
-        decision = AdmissionDecision(
-            request=request,
-            app_class=app_class,
-            snr_level=level,
-            event=event,
-            admitted=True,
-            phase=self.phase,
-        )
-        if self.admittance.is_online:
-            x = encode_event(event)
-            decision.margin = self.admittance.margin(x)
-            # classify() applies the operator's guard margin, if any.
-            decision.admitted = self.admittance.classify(x) == 1
+        with self.obs.span("exbox.handle_arrival"):
+            app_class = self._resolve_class(request, packets)
+            level = self.binner.level_index(request.snr_db)
+            cls_idx = APP_CLASSES.index(app_class)
+            event = FlowEvent(
+                matrix_before=self._matrix.counts,
+                app_class_index=cls_idx,
+                snr_level=level,
+            )
+            decision = AdmissionDecision(
+                request=request,
+                app_class=app_class,
+                snr_level=level,
+                event=event,
+                admitted=True,
+                phase=self.phase,
+            )
+            if self.admittance.is_online:
+                x = encode_event(event)
+                with self.obs.span("exbox.decide"):
+                    decision.margin = self.admittance.margin(x)
+                    # classify() applies the operator's guard margin, if any.
+                    decision.admitted = self.admittance.classify(x) == 1
 
-        if decision.admitted:
-            flow = Flow(
-                app_class=app_class, snr_db=request.snr_db, client_id=request.client_id
-            )
-            self._active[flow.flow_id] = flow
-            self._levels[flow.flow_id] = level
-            self._matrix = self._matrix.with_arrival(cls_idx, level)
-            decision.flow = flow
-        else:
-            rejected = Flow(
-                app_class=app_class, snr_db=request.snr_db, client_id=request.client_id
-            )
-            decision.policy_outcome = self.policy.reject(rejected)
-            if decision.policy_outcome.action is PolicyAction.LOW_PRIORITY:
-                self._background[rejected.flow_id] = rejected
+            if decision.admitted:
+                flow = Flow(
+                    app_class=app_class, snr_db=request.snr_db, client_id=request.client_id
+                )
+                self._active[flow.flow_id] = flow
+                self._levels[flow.flow_id] = level
+                self._matrix = self._matrix.with_arrival(cls_idx, level)
+                decision.flow = flow
+                self.obs.counter("exbox.decisions.admitted").inc()
+            else:
+                rejected = Flow(
+                    app_class=app_class, snr_db=request.snr_db, client_id=request.client_id
+                )
+                decision.policy_outcome = self.policy.reject(rejected)
+                if decision.policy_outcome.action is PolicyAction.LOW_PRIORITY:
+                    self._background[rejected.flow_id] = rejected
+                    self.obs.counter("exbox.decisions.demoted").inc()
+                self.obs.counter("exbox.decisions.rejected").inc()
+            self._update_occupancy_gauges()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "admission_decision",
+                    app_class=app_class,
+                    snr_level=level,
+                    phase=decision.phase.value,
+                    admitted=decision.admitted,
+                    margin=decision.margin,
+                    matrix=list(self._matrix.counts),
+                )
         return decision
+
+    def _update_occupancy_gauges(self) -> None:
+        self.obs.gauge("exbox.flows.active").set(len(self._active))
+        self.obs.gauge("exbox.flows.background").set(len(self._background))
+        self.obs.gauge("exbox.matrix.occupancy").set(self._matrix.total_flows)
 
     def handle_departure(self, flow: Flow) -> None:
         """An active or demoted flow finished; update bookkeeping."""
         if flow.flow_id in self._background:
             del self._background[flow.flow_id]
+            self.obs.counter("exbox.departures.background").inc()
+            self._update_occupancy_gauges()
             return
         if flow.flow_id not in self._active:
             raise KeyError(f"flow {flow.flow_id} is not active")
@@ -204,6 +241,8 @@ class ExBox:
         self._matrix = self._matrix.with_departure(
             APP_CLASSES.index(flow.app_class), level
         )
+        self.obs.counter("exbox.departures.active").inc()
+        self._update_occupancy_gauges()
 
     # ------------------------------------------------------------------
     # Learning feedback
@@ -216,13 +255,17 @@ class ExBox:
         label is computed network-side via the IQX models. Returns the
         label used.
         """
-        label = self.qoe_estimator.label_matrix_run(run)
-        x = encode_event(decision.event)
-        if self.admittance.phase is Phase.BOOTSTRAP:
-            self.admittance.observe_bootstrap(x, label)
-        else:
-            self.admittance.observe_online(x, label)
-        decision.learned = True
+        with self.obs.span("exbox.report_outcome"):
+            label = self.qoe_estimator.label_matrix_run(run)
+            x = encode_event(decision.event)
+            if self.admittance.phase is Phase.BOOTSTRAP:
+                self.admittance.observe_bootstrap(x, label)
+            else:
+                self.admittance.observe_online(x, label)
+            decision.learned = True
+        self.obs.counter(
+            "exbox.outcomes.positive" if label > 0 else "exbox.outcomes.negative"
+        ).inc()
         return label
 
     # ------------------------------------------------------------------
@@ -247,14 +290,27 @@ class ExBox:
         """Periodic re-evaluation of admitted flows; revoked flows leave
         the managed matrix via the policy (a LOW_PRIORITY revoke demotes
         the flow to the background access category instead of ending it)."""
-        pairs = [
-            (flow, self._levels[flow.flow_id]) for flow in self._active.values()
-        ]
-        result = self.revalidator.poll(
-            pairs, n_levels=self.binner.n_levels, only_changed=only_changed
-        )
-        for flow in result.revoked:
-            self.handle_departure(flow)
-            if self.policy.on_revoke is PolicyAction.LOW_PRIORITY:
-                self._background[flow.flow_id] = flow
+        with self.obs.span("exbox.poll_network"):
+            pairs = [
+                (flow, self._levels[flow.flow_id]) for flow in self._active.values()
+            ]
+            result = self.revalidator.poll(
+                pairs, n_levels=self.binner.n_levels, only_changed=only_changed
+            )
+            for flow in result.revoked:
+                self.handle_departure(flow)
+                if self.policy.on_revoke is PolicyAction.LOW_PRIORITY:
+                    self._background[flow.flow_id] = flow
+        self.obs.counter("exbox.revalidation.polls").inc()
+        self.obs.counter("exbox.revalidation.checked").inc(result.checked)
+        if result.revoked:
+            self.obs.counter("exbox.revalidation.revoked").inc(len(result.revoked))
+            self._update_occupancy_gauges()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "revalidation_revoked",
+                    flows=[flow.flow_id for flow in result.revoked],
+                    demoted=self.policy.on_revoke is PolicyAction.LOW_PRIORITY,
+                    checked=result.checked,
+                )
         return result

@@ -18,14 +18,27 @@ vectors; with ``r = 2`` the 8-dimensional mixed-SNR vectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.traffic.arrival import FlowEvent
 from repro.traffic.flows import APP_CLASSES
 
-__all__ = ["ExperientialCapacityRegion", "TrafficMatrix", "encode_event"]
+__all__ = [
+    "AdmissionBoundary",
+    "ExperientialCapacityRegion",
+    "TrafficMatrix",
+    "encode_event",
+]
+
+
+class AdmissionBoundary(Protocol):
+    """What :class:`ExperientialCapacityRegion` needs from a classifier."""
+
+    def predict_one(self, x: np.ndarray) -> float: ...
+
+    def margin_one(self, x: np.ndarray) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -114,11 +127,13 @@ class ExperientialCapacityRegion:
     Admittance Classifier).
     """
 
-    def __init__(self, classifier, n_levels: int = 1) -> None:
+    def __init__(self, classifier: AdmissionBoundary, n_levels: int = 1) -> None:
         self._classifier = classifier
         self.n_levels = int(n_levels)
 
-    def _encode(self, matrix: TrafficMatrix, app_class_index: int, snr_level: int):
+    def _encode(
+        self, matrix: TrafficMatrix, app_class_index: int, snr_level: int
+    ) -> np.ndarray:
         if matrix.n_levels != self.n_levels:
             raise ValueError("matrix level count does not match the region")
         event = FlowEvent(
@@ -147,7 +162,7 @@ class ExperientialCapacityRegion:
 
     def estimate_volume(
         self,
-        rng,
+        rng: np.random.Generator,
         max_per_slot: int = 10,
         n_samples: int = 2000,
         app_class_index: int = 0,

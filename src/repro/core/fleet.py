@@ -14,7 +14,7 @@ instances behind one arrival entry point with margin-based placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.admittance import AdmittanceClassifier
 from repro.core.exbox import AdmissionDecision, ExBox
@@ -58,7 +58,7 @@ class ExBoxFleet:
         name: str,
         batch_size: int = 20,
         binner: Optional[SnrBinner] = None,
-        **classifier_kwargs,
+        **classifier_kwargs: Any,
     ) -> ExBox:
         """Register a cell; its ExBox shares the fleet's QoE estimator."""
         if name in self._cells:

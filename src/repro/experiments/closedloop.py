@@ -19,13 +19,14 @@ numbers are directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.baselines import AdmissionScheme
 from repro.experiments.datasets import build_testbed_dataset
 from repro.experiments.harness import ExBoxScheme
+from repro.obs.facade import NULL_OBS, Obs
 from repro.testbed.base import EmulatedTestbed
 from repro.traffic.arrival import FlowEvent, random_matrix_sequence
 from repro.traffic.flows import APP_CLASSES
@@ -89,10 +90,23 @@ def run_closed_loop(
     duration_min: int = 240,
     arrivals_per_min: float = 1.0,
     mean_hold_min: float = 6.0,
+    obs: Optional[Obs] = None,
 ) -> ClosedLoopResult:
-    """Run one scheme in the loop for ``duration_min`` simulated minutes."""
+    """Run one scheme in the loop for ``duration_min`` simulated minutes.
+
+    A recording ``obs`` instruments the whole episode: per-decision
+    ``exbox.decisions.admitted``/``rejected`` counters, a
+    ``closedloop.decide`` span per admission call, per-arrival
+    ``admission_decision`` events, and — for :class:`ExBoxScheme` — the
+    classifier's own ``admittance.retrain`` spans, since the handle is
+    attached to it for the episode. The inert default changes nothing:
+    decision outcomes and RNG streams are bit-identical either way.
+    """
     if duration_min < 1 or arrivals_per_min <= 0 or mean_hold_min <= 0:
         raise ValueError("duration, arrival rate and hold time must be positive")
+    obs = obs if obs is not None else NULL_OBS
+    if obs.enabled and isinstance(scheme, ExBoxScheme):
+        scheme.classifier.instrument(obs)
     # Separate streams so the arrival sequence is identical for every
     # scheme under the same seed: measurement noise consumption varies
     # with how many flows each scheme admitted.
@@ -124,13 +138,27 @@ def run_closed_loop(
                 app_class_index=cls_idx,
                 snr_level=level,
             )
-            decision = scheme.decide(event)
+            with obs.span("closedloop.decide"):
+                decision = scheme.decide(event)
             room = len(active) < testbed.max_clients
             if decision == 1 and room:
                 result.admitted += 1
                 active.append(_ActiveFlow(cls_idx, snr_db, minute + hold))
+                obs.counter("exbox.decisions.admitted").inc()
             else:
                 result.rejected += 1
+                obs.counter("exbox.decisions.rejected").inc()
+            if obs.enabled:
+                obs.gauge("exbox.flows.active").set(len(active))
+                obs.emit(
+                    "admission_decision",
+                    scheme=scheme.name,
+                    minute=minute,
+                    app_class=APP_CLASSES[cls_idx],
+                    snr_level=level,
+                    admitted=bool(decision == 1 and room),
+                    active_flows=len(active),
+                )
             # The scheme observes the truth of the state it decided on
             # (a shadow measurement, as ExBox's online phase requires).
             specs = [

@@ -39,6 +39,7 @@ from repro.experiments.latency import (
 )
 from repro.experiments.textplot import bar_table, heatmap, metric_table, series_table
 from repro.netem.shaping import Shaper
+from repro.obs.facade import Obs
 from repro.qoe.iqx import IQXModel
 from repro.qoe.mos import normalized_from_metric
 from repro.qoe.thresholds import threshold_for_class
@@ -798,8 +799,16 @@ def latency_benchmarks(
     n_decision_samples: int = 60,
     training_sizes: Sequence[int] = (50, 200, 1000),
     seed: int = 15,
+    obs: Optional[Obs] = None,
 ) -> LatencyResult:
-    """Decision latency for the three schemes plus SVM training latency."""
+    """Decision latency for the three schemes plus SVM training latency.
+
+    Pass a recording ``obs`` (see :func:`repro.obs.obs_from_env`) to
+    accumulate every timed region — ``latency.decision`` spans per
+    admission call, ``svm.fit`` spans per training fit, and the ExBox
+    scheme's own ``admittance.retrain`` instrumentation — into its
+    registry for a ``BENCH_obs.json`` export.
+    """
     rng = np.random.default_rng(seed)
     testbed = WiFiTestbed()
     matrices = _testbed_matrices("random", "wifi", n_decision_samples, rng)
@@ -811,6 +820,7 @@ def latency_benchmarks(
             batch_size=20,
             min_bootstrap_samples=10,
             max_bootstrap_samples=n_bootstrap,
+            obs=obs,
         )
     )
     exbox.bootstrap(samples[:n_bootstrap])
@@ -823,9 +833,9 @@ def latency_benchmarks(
         MaxClientAdmission(10),
     ):
         decision_ms[scheme.name] = median_ms(
-            measure_decision_latency(scheme, test_samples)
+            measure_decision_latency(scheme, test_samples, obs=obs)
         )
     training_ms = {
-        n: median_ms(measure_training_latency(n)) for n in training_sizes
+        n: median_ms(measure_training_latency(n, obs=obs)) for n in training_sizes
     }
     return LatencyResult(decision_ms=decision_ms, training_ms=training_ms)

@@ -24,6 +24,7 @@ from repro.core.baselines import AdmissionScheme
 from repro.core.excr import encode_event
 from repro.experiments.datasets import LabeledSample
 from repro.ml.metrics import accuracy_score, precision_score, recall_score
+from repro.obs.facade import Obs
 from repro.traffic.arrival import FlowEvent
 from repro.traffic.flows import APP_CLASSES
 
@@ -35,8 +36,15 @@ class ExBoxScheme(AdmissionScheme):
 
     name = "ExBox"
 
-    def __init__(self, classifier: Optional[AdmittanceClassifier] = None, **kwargs) -> None:
-        self.classifier = classifier or AdmittanceClassifier(**kwargs)
+    def __init__(
+        self,
+        classifier: Optional[AdmittanceClassifier] = None,
+        obs: Optional[Obs] = None,
+        **kwargs,
+    ) -> None:
+        self.classifier = classifier or AdmittanceClassifier(obs=obs, **kwargs)
+        if obs is not None:
+            self.classifier.instrument(obs)
 
     @property
     def is_online(self) -> bool:

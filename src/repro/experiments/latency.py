@@ -5,12 +5,18 @@ The paper times, on a quad-core i7 laptop: the admission-decision
 latency of ExBox (~5 ms median) vs the baselines (<=2 ms), and SVM
 training latency as a function of the training-set size (~360 ms at 50
 samples, >2 s at 1000 with their implementation).
+
+Both measurements are thin consumers of the :mod:`repro.obs`
+instrumentation: each timed region runs under a tracing span, the raw
+per-iteration durations come back from the tracer, and — when a caller
+passes its own recording :class:`~repro.obs.Obs` — the same durations
+land in that registry's span histograms (``latency.decision``,
+``svm.fit``) for export to ``BENCH_*.json``.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,12 +24,17 @@ from repro.core.baselines import AdmissionScheme
 from repro.experiments.datasets import LabeledSample
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SVC
+from repro.obs.facade import Obs
 
 __all__ = [
     "measure_decision_latency",
     "measure_training_latency",
     "median_ms",
 ]
+
+#: Span (and histogram) names the measurement helpers emit.
+DECISION_SPAN = "latency.decision"
+TRAINING_SPAN = "svm.fit"
 
 
 def median_ms(latencies_s: Sequence[float]) -> float:
@@ -33,36 +44,59 @@ def median_ms(latencies_s: Sequence[float]) -> float:
     return float(np.median(latencies_s) * 1e3)
 
 
+def _span_durations(obs: Obs, name: str, start_index: int) -> List[float]:
+    """Durations of spans named ``name`` finished after ``start_index``."""
+    return [
+        span.duration
+        for span in obs.tracer.finished[start_index:]
+        if span.name == name
+    ]
+
+
 def measure_decision_latency(
     scheme: AdmissionScheme,
     samples: Sequence[LabeledSample],
     repeats: int = 3,
+    obs: Optional[Obs] = None,
 ) -> List[float]:
-    """Per-decision wall-clock latencies (seconds) over a sample stream."""
-    latencies: List[float] = []
+    """Per-decision wall-clock latencies (seconds) over a sample stream.
+
+    Each decision runs under a ``latency.decision`` span; pass a
+    recording ``obs`` to accumulate the same durations into that
+    registry's histogram (the per-call return value is unchanged).
+    """
+    obs = obs if obs is not None and obs.enabled else Obs.recording()
+    first = len(obs.tracer.finished)
+    span = obs.span(DECISION_SPAN)
     for _ in range(repeats):
         for sample in samples:
-            start = time.perf_counter()
-            scheme.decide(sample.event)
-            latencies.append(time.perf_counter() - start)
-    return latencies
+            with span:
+                scheme.decide(sample.event)
+    return _span_durations(obs, DECISION_SPAN, first)
 
 
 def measure_training_latency(
     n_samples: int,
     n_features: int = 4,
     repeats: int = 3,
-    model_factory: Callable[[], SVC] = None,
+    model_factory: Optional[Callable[[], SVC]] = None,
     seed: int = 3,
+    obs: Optional[Obs] = None,
 ) -> List[float]:
     """SVM training wall-clock latencies for a given training-set size.
 
     Uses a synthetic linearly-separable-with-noise problem of the same
-    dimensionality as the single-SNR ExBox feature space.
+    dimensionality as the single-SNR ExBox feature space. Timing comes
+    from the model's own ``svm.fit`` span (see :class:`repro.ml.svm.SVC`),
+    so what is measured here is exactly what a production registry would
+    record.
     """
     if n_samples < 4:
         raise ValueError("need at least 4 samples")
-    factory = model_factory or (lambda: SVC(C=10.0, kernel="rbf", random_state=0))
+    obs = obs if obs is not None and obs.enabled else Obs.recording()
+    factory = model_factory or (
+        lambda: SVC(C=10.0, kernel="rbf", random_state=0, obs=obs)
+    )
     rng = np.random.default_rng(seed)
     X = rng.uniform(0, 10, size=(n_samples, n_features))
     y = np.where(X.sum(axis=1) + rng.normal(0, 1.5, n_samples) < 5.0 * n_features / 2, 1.0, -1.0)
@@ -70,10 +104,14 @@ def measure_training_latency(
         y[: n_samples // 2] = 1.0
         y[n_samples // 2:] = -1.0
     Xs = StandardScaler().fit_transform(X)
-    latencies: List[float] = []
+    first = len(obs.tracer.finished)
+    span = obs.span(TRAINING_SPAN)
     for _ in range(repeats):
         model = factory()
-        start = time.perf_counter()
-        model.fit(Xs, y)
-        latencies.append(time.perf_counter() - start)
-    return latencies
+        if model.obs.enabled:
+            # The SVC times itself; avoid double-counting the span.
+            model.fit(Xs, y)
+        else:
+            with span:
+                model.fit(Xs, y)
+    return _span_durations(obs, TRAINING_SPAN, first)

@@ -11,5 +11,6 @@ from repro.lint.rules import api as _api  # noqa: F401
 from repro.lint.rules import determinism as _determinism  # noqa: F401
 from repro.lint.rules import docs as _docs  # noqa: F401
 from repro.lint.rules import numeric as _numeric  # noqa: F401
+from repro.lint.rules import obs as _obs  # noqa: F401
 
 __all__ = ["REGISTRY", "Rule", "register", "create_rules", "iter_rule_classes"]

@@ -1,0 +1,65 @@
+"""Observability rule: OBS001 (no bare ``print()`` in library code).
+
+Library modules under ``src/repro/`` must report through the
+:mod:`repro.obs` facade (metrics, events, spans) or return renderable
+results; a stray ``print()`` bypasses both, cannot be captured by the
+exporters, and pollutes stdout for callers that parse it (the CLI, the
+benchmark JSON export). The CLI front-ends and the plain-text plotting
+helper are the sanctioned stdout writers and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule, register
+
+__all__ = ["BarePrintInLibrary"]
+
+# Modules whose whole point is writing to stdout.
+_EXEMPT_FILES = ("cli.py", "textplot.py")
+_LIBRARY_PREFIX: Tuple[str, ...] = ("src", "repro")
+
+
+@register
+class BarePrintInLibrary(Rule):
+    rule_id = "OBS001"
+    summary = "bare print() in library code"
+    rationale = (
+        "Library code under src/repro/ must report through the repro.obs "
+        "facade (counters, events, spans) or return data for the caller "
+        "to render; print() is invisible to the exporters and corrupts "
+        "stdout for machine consumers. CLI modules and the text plotter "
+        "are the sanctioned stdout writers."
+    )
+
+    def should_check(self, module) -> bool:
+        parts = module.path_parts()
+        # Only library code: a src/repro/ prefix somewhere in the path
+        # (the engine may be run from the repo root or from src/).
+        for i in range(len(parts) - 1):
+            if parts[i : i + 2] == _LIBRARY_PREFIX:
+                rel = parts[i + 2 :]
+                break
+        else:
+            if parts[:1] == ("repro",):
+                rel = parts[1:]
+            else:
+                return False
+        if not rel:
+            return False
+        if rel[0] == "lint":  # the linter prints its own findings
+            return False
+        return module.filename not in _EXEMPT_FILES
+
+    def visit_Call(self, node: ast.Call, module) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield self.finding(
+                module,
+                node,
+                "bare print() in library code; emit a repro.obs event/metric "
+                "or return the text to the caller (CLI modules are exempt)",
+            )

@@ -87,6 +87,11 @@ class BatchOnlineSVM:
     def is_trained(self) -> bool:
         return self._model is not None
 
+    @property
+    def due_for_retrain(self) -> bool:
+        """True once a full batch accumulated since the last retrain."""
+        return self._since_retrain >= self.batch_size
+
     def add_sample(self, x, y: float) -> None:
         """Record one observed ``(X_m, Y_m)`` tuple without retraining."""
         x = np.asarray(x, dtype=float).ravel()
@@ -119,7 +124,7 @@ class BatchOnlineSVM:
         Returns True when a retrain happened.
         """
         self.add_sample(x, y)
-        if self._since_retrain >= self.batch_size:
+        if self.due_for_retrain:
             self.retrain()
             return True
         return False

@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ml.kernels import resolve_kernel
+from repro.obs.facade import NULL_OBS, Obs
 
 __all__ = ["SVC", "NotFittedError"]
 
@@ -50,6 +51,11 @@ class SVC:
         Seed kept for interface stability; the maximal-violating-pair
         selection itself is deterministic, so fits are bit-identical
         regardless of its value. Must be an int or None.
+    obs:
+        Observability handle; a recording handle times each fit under
+        the ``svm.fit`` span (Section 5.3's training-latency metric) and
+        gauges the training-set and support-vector sizes. The inert
+        default records nothing.
     """
 
     def __init__(
@@ -60,6 +66,7 @@ class SVC:
         tol: float = 1e-3,
         max_iter: int = 100000,
         random_state: Optional[int] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         if C <= 0:
             raise ValueError("C must be positive")
@@ -78,6 +85,7 @@ class SVC:
                 f"{type(random_state).__name__}"
             )
         self.random_state = None if random_state is None else int(random_state)
+        self.obs = obs if obs is not None else NULL_OBS
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -121,8 +129,12 @@ class SVC:
 
         self._constant = None
         alpha0 = self._sanitize_alpha_init(alpha_init, y)
-        self._smo(X, y, alpha0)
+        with self.obs.span("svm.fit"):
+            self._smo(X, y, alpha0)
         self._fitted = True
+        self.obs.counter("svm.fits").inc()
+        self.obs.gauge("svm.train_samples").set(X.shape[0])
+        self.obs.gauge("svm.support_vectors").set(self._sv_X.shape[0])
         return self
 
     def _sanitize_alpha_init(self, alpha_init, y: np.ndarray):

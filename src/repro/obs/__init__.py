@@ -1,0 +1,72 @@
+"""Observability for the ExBox pipeline: metrics, spans, events.
+
+The paper's headline evaluation (Section 5.3, Figures 15-16) is about
+latencies — admission decisions and SVM retrains — so this package gives
+every hot path a way to report where time and decisions go:
+
+- :mod:`repro.obs.registry` — counters, gauges, fixed-bucket histograms,
+- :mod:`repro.obs.tracing` — nested spans with a pluggable clock,
+- :mod:`repro.obs.events` — JSON-lines structured events + logging bridge,
+- :mod:`repro.obs.exporters` — JSON snapshot (``BENCH_*.json``) and
+  Prometheus text formats,
+- :mod:`repro.obs.facade` — the one-argument :class:`Obs` bundle and the
+  inert :data:`NULL_OBS` default.
+
+See ``docs/observability.md`` for the metric catalogue and span names.
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, ManualClock
+from repro.obs.events import (
+    EventDict,
+    EventLog,
+    EventSink,
+    NullEventLog,
+    jsonl_sink,
+    logging_sink,
+)
+from repro.obs.exporters import (
+    load_snapshot,
+    snapshot,
+    snapshot_json,
+    to_prometheus,
+    write_bench_json,
+)
+from repro.obs.facade import NULL_OBS, Obs, obs_from_env
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "MONOTONIC",
+    "Clock",
+    "ManualClock",
+    "EventDict",
+    "EventLog",
+    "EventSink",
+    "NullEventLog",
+    "jsonl_sink",
+    "logging_sink",
+    "load_snapshot",
+    "snapshot",
+    "snapshot_json",
+    "to_prometheus",
+    "write_bench_json",
+    "NULL_OBS",
+    "Obs",
+    "obs_from_env",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+]

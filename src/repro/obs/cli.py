@@ -1,0 +1,112 @@
+"""``repro obs`` — human summary of an exported metrics snapshot.
+
+Reads a ``BENCH_*.json`` file produced by
+:func:`repro.obs.exporters.write_bench_json` (or a bare snapshot dict)
+and renders counters, gauges, and histogram summaries as aligned text,
+optionally re-emitting the Prometheus exposition instead::
+
+    python -m repro obs --snapshot BENCH_obs.json
+    python -m repro obs --snapshot BENCH_obs.json --format prometheus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+from repro.obs.exporters import load_snapshot, to_prometheus
+
+__all__ = ["render_snapshot", "build_parser", "main"]
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    return f"{value * 1e3:.3f} ms"
+
+
+def render_snapshot(payload: Dict[str, Any]) -> str:
+    """Aligned-text summary of a BENCH payload or bare snapshot dict."""
+    metrics = payload.get("metrics", payload)
+    meta = payload.get("meta", {})
+    registry = load_snapshot(metrics)
+    lines: List[str] = []
+    if meta:
+        lines.append("meta:")
+        for key in sorted(meta):
+            lines.append(f"  {key}: {meta[key]}")
+        lines.append("")
+
+    counters = registry.counters()
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name, counter in counters.items():
+            lines.append(f"  {name:<{width}}  {counter.value:g}")
+        lines.append("")
+
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name, gauge in gauges.items():
+            lines.append(f"  {name:<{width}}  {gauge.value:g}")
+        lines.append("")
+
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("histograms (count / mean / p50 / p95 / max):")
+        width = max(len(n) for n in histograms)
+        for name, hist in histograms.items():
+            lines.append(
+                f"  {name:<{width}}  {hist.count:>6}  "
+                f"{_fmt_seconds(hist.mean):>12}  "
+                f"{_fmt_seconds(hist.quantile(0.5)):>12}  "
+                f"{_fmt_seconds(hist.quantile(0.95)):>12}  "
+                f"{_fmt_seconds(hist.max):>12}"
+            )
+        lines.append("")
+
+    if not (counters or gauges or histograms):
+        lines.append("(snapshot is empty)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Summarize an exported repro.obs metrics snapshot.",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default="BENCH_obs.json",
+        help="path to a BENCH_*.json snapshot (default: BENCH_obs.json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("summary", "prometheus"),
+        default="summary",
+        help="output format (default: summary)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[IO[str]] = None) -> int:
+    stream: IO[str] = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    path = Path(args.snapshot)
+    if not path.is_file():
+        print(f"repro obs: snapshot not found: {path}", file=stream)
+        return 2
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if args.format == "prometheus":
+        metrics = payload.get("metrics", payload)
+        stream.write(to_prometheus(load_snapshot(metrics)))
+    else:
+        stream.write(render_snapshot(payload))
+    return 0

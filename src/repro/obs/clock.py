@@ -1,0 +1,53 @@
+"""Pluggable clocks for the observability layer.
+
+Every timing primitive in :mod:`repro.obs` reads time through a zero-
+argument callable returning seconds as a float. Production code uses
+:data:`MONOTONIC` (``time.perf_counter``); tests inject a
+:class:`ManualClock` so span durations and event timestamps are exact,
+deterministic numbers instead of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "MONOTONIC", "ManualClock"]
+
+# A clock is any zero-argument callable returning seconds.
+Clock = Callable[[], float]
+
+#: The production clock: monotonic, high resolution, not wall time.
+MONOTONIC: Clock = time.perf_counter
+
+
+class ManualClock:
+    """Deterministic clock for tests: advances only when told to.
+
+    ``tick`` is an optional auto-increment applied *after* every read,
+    which gives strictly increasing timestamps without any explicit
+    :meth:`advance` calls (convenient when code under test reads the
+    clock an unknown number of times).
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0) -> None:
+        if tick < 0:
+            raise ValueError("tick must be >= 0")
+        self._now = float(start)
+        self._tick = float(tick)
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self._tick
+        return now
+
+    @property
+    def now(self) -> float:
+        """Current reading without advancing the auto-tick."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now += float(seconds)

@@ -1,0 +1,143 @@
+"""Exporters: JSON snapshots (``BENCH_*.json``) and Prometheus text.
+
+The JSON snapshot is the canonical interchange form — a plain dict of
+counters, gauges, and histograms that round-trips losslessly through
+:func:`snapshot` / :func:`load_snapshot` (bucket bounds, counts, sums,
+extrema). ``BENCH_*.json`` files written by :func:`write_bench_json` are
+exactly this snapshot plus a caller-supplied ``meta`` block, which is
+what CI uploads to start the performance trajectory.
+
+:func:`to_prometheus` renders the same registry in the Prometheus text
+exposition format (metric names are dot-separated internally and
+underscore-flattened on export) for anyone pointing a real scrape at a
+long-lived run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "snapshot",
+    "load_snapshot",
+    "snapshot_json",
+    "write_bench_json",
+    "to_prometheus",
+]
+
+_INF_LABEL = "+Inf"
+
+
+def _bound_out(bound: float) -> Union[float, str]:
+    return _INF_LABEL if math.isinf(bound) else bound
+
+
+def _bound_in(bound: Union[float, str]) -> float:
+    return math.inf if bound == _INF_LABEL else float(bound)
+
+
+def _histogram_out(hist: Histogram) -> Dict[str, Any]:
+    return {
+        "buckets": [
+            [_bound_out(bound), count] for bound, count in hist.bucket_counts()
+        ],
+        "count": hist.count,
+        "sum": hist.sum,
+        "min": hist.min,
+        "max": hist.max,
+    }
+
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON-able dict of everything the registry holds, sorted by name."""
+    return {
+        "counters": {
+            name: c.value for name, c in registry.counters().items()
+        },
+        "gauges": {name: g.value for name, g in registry.gauges().items()},
+        "histograms": {
+            name: _histogram_out(h) for name, h in registry.histograms().items()
+        },
+    }
+
+
+def load_snapshot(data: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`snapshot` dict (exact inverse)."""
+    registry = MetricsRegistry()
+    for name, value in data.get("counters", {}).items():
+        registry.counter(name).inc(value)
+    for name, value in data.get("gauges", {}).items():
+        registry.gauge(name).set(value)
+    for name, payload in data.get("histograms", {}).items():
+        pairs = [(_bound_in(b), int(n)) for b, n in payload["buckets"]]
+        hist = registry.histogram(
+            name, buckets=[b for b, _ in pairs if not math.isinf(b)]
+        )
+        hist._counts = [n for _, n in pairs]
+        hist._count = int(payload["count"])
+        hist._sum = float(payload["sum"])
+        hist._min = math.inf if payload["min"] is None else float(payload["min"])
+        hist._max = -math.inf if payload["max"] is None else float(payload["max"])
+    return registry
+
+
+def snapshot_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The snapshot serialized with sorted keys (byte-deterministic)."""
+    return json.dumps(snapshot(registry), sort_keys=True, indent=indent)
+
+
+def write_bench_json(
+    path: Union[str, Path],
+    registry: MetricsRegistry,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``{"meta": ..., "metrics": snapshot}`` to ``path``."""
+    path = Path(path)
+    payload = {"meta": dict(meta or {}), "metrics": snapshot(registry)}
+    path.write_text(
+        json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    flat = "".join(out)
+    return flat if not flat[:1].isdigit() else "_" + flat
+
+
+def _prom_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of the registry, sorted by name."""
+    lines: List[str] = []
+    for name, counter in registry.counters().items():
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(f"{flat} {_prom_value(counter.value)}")
+    for name, gauge in registry.gauges().items():
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {_prom_value(gauge.value)}")
+    for name, hist in registry.histograms().items():
+        flat = _prom_name(name)
+        lines.append(f"# TYPE {flat} histogram")
+        cumulative = 0
+        for bound, count in hist.bucket_counts():
+            cumulative += count
+            label = "+Inf" if math.isinf(bound) else _prom_value(bound)
+            lines.append(f'{flat}_bucket{{le="{label}"}} {cumulative}')
+        lines.append(f"{flat}_sum {_prom_value(hist.sum)}")
+        lines.append(f"{flat}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

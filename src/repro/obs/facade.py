@@ -1,0 +1,126 @@
+"""The ``Obs`` facade: one handle bundling metrics, tracing, and events.
+
+Instrumented components take a single optional ``obs`` argument instead
+of three; the module-level :data:`NULL_OBS` (the default everywhere) is
+fully inert, so the disabled cost of an instrumented hot path is a
+handful of no-op calls and **zero** behavioral difference — observability
+never reads RNG streams, never reorders iteration, and never branches
+the decision logic.
+
+Wiring::
+
+    obs = Obs.recording()                      # perf_counter spans
+    obs = Obs.recording(clock=ManualClock())   # deterministic tests
+    exbox = ExBox.with_defaults(batch_size=20, obs=obs)
+    ...
+    print(snapshot_json(obs.registry))
+
+``obs_from_env`` turns the ``REPRO_OBS`` environment variable into a
+recording handle, which is how CI flips the latency benchmark from dark
+to instrumented without touching its code.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.obs.clock import Clock
+from repro.obs.events import EventDict, EventLog, EventSink, NullEventLog
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+from repro.obs.tracing import NullTracer, SpanHandle, Tracer
+
+__all__ = ["Obs", "NULL_OBS", "obs_from_env"]
+
+
+class Obs:
+    """Bundle of a metrics registry, a tracer, and an event log.
+
+    The tracer is wired to the registry, so every finished span feeds a
+    histogram of the same name — ``span("admittance.retrain")`` *is* the
+    retrain-latency metric.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        events: EventLog,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.events = events
+
+    @property
+    def enabled(self) -> bool:
+        """False only for the inert default; guard *expensive* event
+        payload construction on this, never decision logic."""
+        return self.registry.enabled
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def recording(
+        cls,
+        clock: Optional[Clock] = None,
+        event_sinks: Optional[Sequence[EventSink]] = None,
+        event_clock: Optional[Clock] = None,
+    ) -> "Obs":
+        """A live handle: recording registry, span-fed histograms.
+
+        ``clock`` drives span timing (``perf_counter`` by default);
+        ``event_clock`` — separate, off by default — timestamps events.
+        """
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=clock, registry=registry)
+        events = EventLog(sinks=event_sinks, clock=event_clock)
+        return cls(registry=registry, tracer=tracer, events=events)
+
+    @classmethod
+    def disabled(cls) -> "Obs":
+        """The shared inert handle (also importable as ``NULL_OBS``)."""
+        return NULL_OBS
+
+    # -- delegation -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self.registry.histogram(name, buckets=buckets)
+
+    def span(self, name: str) -> SpanHandle:
+        return self.tracer.span(name)
+
+    def emit(self, event_type: str, **fields: Any) -> EventDict:
+        return self.events.emit(event_type, **fields)
+
+
+class _NullObs(Obs):
+    """Inert singleton; see :data:`NULL_OBS`."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            registry=NullRegistry(), tracer=NullTracer(), events=NullEventLog()
+        )
+
+
+#: The default ``obs`` everywhere: shared, inert, allocation-free.
+NULL_OBS: Obs = _NullObs()
+
+
+def obs_from_env(environ: Optional[Mapping[str, str]] = None) -> Obs:
+    """``Obs.recording()`` when ``REPRO_OBS`` is set truthy, else inert.
+
+    Recognized values for enabling: anything except ``""``, ``"0"``,
+    ``"false"``, ``"no"`` (case-insensitive). ``REPRO_OBS_EXPORT=<path>``
+    (checked by callers, see ``benchmarks/test_latency.py``) names the
+    snapshot file to write afterwards and also implies enabling.
+    """
+    env = environ if environ is not None else os.environ
+    flag = env.get("REPRO_OBS", "").strip().lower()
+    enabled = flag not in ("", "0", "false", "no")
+    if not enabled and env.get("REPRO_OBS_EXPORT", "").strip():
+        enabled = True
+    return Obs.recording() if enabled else NULL_OBS

@@ -1,0 +1,301 @@
+"""Deterministic, dependency-free metrics registry.
+
+Three metric kinds, mirroring the Prometheus data model at the scale
+this reproduction needs:
+
+- :class:`Counter` — monotonically increasing count (decisions made,
+  flows revoked, retrains run),
+- :class:`Gauge` — last-written value (active-matrix occupancy,
+  bootstrap-exit CV accuracy),
+- :class:`Histogram` — fixed-bucket distribution (decision latency,
+  retrain latency). Buckets are chosen at creation time and never
+  resize, so two runs that observe the same values produce identical
+  snapshots.
+
+The registry is deliberately boring: plain dicts keyed by metric name,
+insertion-ordered, no locks, no background threads, no globals. The
+:class:`NullRegistry` variant hands out shared no-op metric objects so
+instrumented hot paths cost one attribute lookup and one no-op call when
+observability is disabled — the default everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+#: Default histogram buckets for latencies, in seconds: 100 µs … 10 s.
+#: Spans the paper's Section 5.3 range (~5 ms decisions, >2 s retrains).
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style export.
+
+    ``buckets`` are upper bounds (inclusive, like Prometheus ``le``);
+    observations above the last bound land in the implicit +Inf bucket.
+    Alongside the bucket counts the histogram tracks count/sum/min/max,
+    so medians can be estimated and totals recovered exactly.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS_S))
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min if self._count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max if self._count else None
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs; the last bound is +Inf."""
+        bounds: List[float] = [*self.buckets, math.inf]
+        return list(zip(bounds, self._counts))
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation); None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._count:
+            return None
+        rank = q * self._count
+        seen = 0
+        for bound, n in self.bucket_counts():
+            seen += n
+            if seen >= rank:
+                return min(bound, self._max)
+        return self._max
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one run.
+
+    Names are dot-separated (``exbox.decisions.admitted``); asking for an
+    existing name with a different metric kind is a programming error and
+    raises immediately.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already exists as {type(existing).__name__}"
+                )
+            return existing
+        metric = Histogram(name, buckets=buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, name: str, kind: type) -> "Metric":
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already exists as {type(existing).__name__}"
+                )
+            return existing
+        metric = kind(name)
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def counters(self) -> Dict[str, Counter]:
+        return {
+            name: m
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Counter)
+        }
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return {
+            name: m
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Gauge)
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {
+            name: m
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Histogram)
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: every lookup returns a shared inert metric.
+
+    This is the default wired into every instrumented component, so the
+    disabled-observability cost of a hot path is one method call that
+    immediately returns a singleton plus one no-op ``inc``/``observe``.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null", buckets=(1.0,))
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._histogram

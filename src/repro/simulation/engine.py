@@ -19,6 +19,8 @@ import heapq
 import itertools
 from typing import Callable, Generator, Optional
 
+from repro.obs.facade import NULL_OBS, Obs
+
 __all__ = ["Event", "Process", "Simulator", "SimulationError"]
 
 
@@ -50,10 +52,16 @@ class Event:
 
 
 class Simulator:
-    """Calendar-queue discrete event simulator."""
+    """Calendar-queue discrete event simulator.
 
-    def __init__(self) -> None:
+    ``obs`` (optional) counts dispatched events and times each ``run()``
+    under the ``sim.run`` span; the inert default costs one no-op call
+    per event and changes nothing.
+    """
+
+    def __init__(self, obs: Optional[Obs] = None) -> None:
         self.now = 0.0
+        self.obs = obs if obs is not None else NULL_OBS
         self._queue: list[Event] = []
         self._counter = itertools.count()
         self._running = False
@@ -89,6 +97,7 @@ class Simulator:
                 continue
             self.now = event.time
             self.events_dispatched += 1
+            self.obs.counter("sim.events.dispatched").inc()
             try:
                 event.callback()
             except SimulationError:
@@ -108,19 +117,22 @@ class Simulator:
         self._running = True
         dispatched = 0
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                if max_events is not None and dispatched >= max_events:
-                    break
-                self.step()
-                dispatched += 1
+            with self.obs.span("sim.run"):
+                while True:
+                    next_time = self.peek()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self.now = until
+                        break
+                    if max_events is not None and dispatched >= max_events:
+                        break
+                    self.step()
+                    dispatched += 1
         finally:
             self._running = False
+            self.obs.gauge("sim.time").set(self.now)
+            self.obs.gauge("sim.queue.depth").set(len(self._queue))
         return self.now
 
 

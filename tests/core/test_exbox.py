@@ -137,3 +137,113 @@ class TestDynamics:
         region = box.excr
         profile = region.boundary_profile(app_class_index=0, max_count=12)
         assert 0 <= profile <= 12
+
+
+class _CapacityStub:
+    """Deterministic online 'classifier': admit while the low-SNR-weighted
+    occupancy of the post-admission matrix stays within ``cap``.
+
+    Slot ``i`` of the matrix holds level ``i % n_levels``; level 0 (low
+    SNR) counts double, as a slow station drags the whole cell. Using a
+    stub instead of a trained SVM makes the revocation set exact, so the
+    demotion *bookkeeping* can be asserted tightly.
+    """
+
+    phase = Phase.ONLINE
+    is_online = True
+
+    def __init__(self, cap=4, n_levels=2):
+        self.cap = cap
+        self.n_levels = n_levels
+
+    def _weighted(self, x):
+        counts = x[: 3 * self.n_levels]
+        return sum(
+            c * (2.0 if i % self.n_levels == 0 else 1.0)
+            for i, c in enumerate(counts)
+        )
+
+    def margin(self, x):
+        return float(self.cap - self._weighted(x))
+
+    def classify(self, x):
+        return 1 if self._weighted(x) <= self.cap else -1
+
+    def instrument(self, obs):
+        pass
+
+
+class TestDemotionBookkeeping:
+    """FlowRevalidator-driven demotion through ExBox.poll_network
+    (Section 4.3 revocation into the 802.11e background category)."""
+
+    def _online_box(self, obs=None):
+        from repro.core.policies import AdmittancePolicy, PolicyAction
+        from repro.wireless.channel import SnrBinner
+
+        return ExBox(
+            admittance=_CapacityStub(cap=4, n_levels=2),
+            binner=SnrBinner.two_level(),
+            policy=AdmittancePolicy(on_revoke=PolicyAction.LOW_PRIORITY),
+            obs=obs,
+        )
+
+    def _admit_three_high_snr(self, box):
+        decisions = [
+            box.handle_arrival(FlowRequest(client_id=i, app_class=WEB, snr_db=53.0))
+            for i in range(3)
+        ]
+        assert all(d.admitted for d in decisions)
+        return decisions
+
+    def test_revoked_flows_reenter_background(self):
+        box = self._online_box()
+        decisions = self._admit_three_high_snr(box)
+        # Everyone walks away from the AP: weighted occupancy 3 -> 6 > 4.
+        for d in decisions:
+            box.update_flow_snr(d.flow, 23.0)
+        result = box.poll_network()
+        assert len(result.revoked) == 3
+        background_ids = {f.flow_id for f in box.background_flows}
+        assert {f.flow_id for f in result.revoked} == background_ids
+        assert box.active_flows == []
+        assert box.current_matrix.total_flows == 0
+
+    def test_departure_of_demoted_flow(self):
+        box = self._online_box()
+        decisions = self._admit_three_high_snr(box)
+        for d in decisions:
+            box.update_flow_snr(d.flow, 23.0)
+        (revoked, *rest) = box.poll_network().revoked
+        matrix_before = box.current_matrix
+        box.handle_departure(revoked)
+        # Background flows live outside the managed matrix: departure
+        # only drops the background entry.
+        assert revoked.flow_id not in {f.flow_id for f in box.background_flows}
+        assert len(box.background_flows) == len(rest)
+        assert box.current_matrix == matrix_before
+        with pytest.raises(KeyError):
+            box.handle_departure(revoked)  # already gone entirely
+
+    def test_demotion_metrics_and_events(self):
+        from repro.obs import Obs
+
+        obs = Obs.recording()
+        box = self._online_box(obs=obs)
+        decisions = self._admit_three_high_snr(box)
+        assert obs.registry.counter("exbox.decisions.admitted").value == 3
+        for d in decisions:
+            box.update_flow_snr(d.flow, 23.0)
+        box.poll_network()
+        reg = obs.registry
+        assert reg.counter("exbox.revalidation.polls").value == 1
+        assert reg.counter("exbox.revalidation.checked").value == 3
+        assert reg.counter("exbox.revalidation.revoked").value == 3
+        assert reg.counter("exbox.departures.active").value == 3
+        assert reg.gauge("exbox.flows.background").value == 3
+        assert reg.gauge("exbox.matrix.occupancy").value == 0
+        (event,) = obs.events.of_type("revalidation_revoked")
+        assert event["demoted"] is True
+        assert sorted(event["flows"]) == sorted(
+            f.flow_id for f in box.background_flows
+        )

@@ -426,6 +426,51 @@ class TestDOC001:
 
 
 # ----------------------------------------------------------------------
+# OBS001 — bare print() in library code
+# ----------------------------------------------------------------------
+class TestOBS001:
+    BAD = """\
+        def report(x):
+            print(x)
+        __all__ = ["report"]
+        """
+
+    def test_fires_in_library_module(self):
+        findings = run(self.BAD, relpath="src/repro/core/mod.py")
+        assert rule_lines(findings, "OBS001") == [2]
+
+    def test_silent_in_cli_module(self):
+        findings = run(self.BAD, relpath="src/repro/obs/cli.py")
+        assert rule_lines(findings, "OBS001") == []
+
+    def test_silent_in_textplot(self):
+        findings = run(self.BAD, relpath="src/repro/experiments/textplot.py")
+        assert rule_lines(findings, "OBS001") == []
+
+    def test_silent_in_lint_package(self):
+        findings = run(self.BAD, relpath="src/repro/lint/reporters.py")
+        assert rule_lines(findings, "OBS001") == []
+
+    def test_silent_outside_library_tree(self):
+        findings = run(self.BAD, relpath="examples/demo.py", in_package=False)
+        assert rule_lines(findings, "OBS001") == []
+        findings = run(self.BAD, relpath="tests/core/test_mod.py")
+        assert rule_lines(findings, "OBS001") == []
+
+    def test_shadowed_print_method_is_fine(self):
+        findings = run(
+            """\
+            class Reporter:
+                def render(self, out):
+                    out.print("ok")
+            __all__ = ["Reporter"]
+            """,
+            relpath="src/repro/core/mod.py",
+        )
+        assert rule_lines(findings, "OBS001") == []
+
+
+# ----------------------------------------------------------------------
 # Engine-level behaviour
 # ----------------------------------------------------------------------
 class TestEngine:

@@ -1,0 +1,63 @@
+"""`repro obs` snapshot summaries (and the top-level CLI hand-off)."""
+
+import io
+import json
+
+from repro.cli import main as repro_main
+from repro.obs import MetricsRegistry, write_bench_json
+from repro.obs.cli import main as obs_main, render_snapshot
+
+
+def bench_file(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("exbox.decisions.admitted").inc(12)
+    reg.gauge("exbox.flows.active").set(5)
+    reg.histogram("admittance.retrain", buckets=[0.1, 1.0]).observe(0.25)
+    return write_bench_json(
+        tmp_path / "BENCH_obs.json", reg, meta={"suite": "latency", "seed": 0}
+    )
+
+
+def test_render_snapshot_summary(tmp_path):
+    payload = json.loads(bench_file(tmp_path).read_text(encoding="utf-8"))
+    text = render_snapshot(payload)
+    assert "meta:" in text and "suite: latency" in text
+    assert "exbox.decisions.admitted" in text
+    assert "exbox.flows.active" in text
+    assert "admittance.retrain" in text
+    assert "250.000 ms" in text  # the 0.25 s retrain formatted sub-second
+
+
+def test_render_bare_snapshot_without_meta():
+    text = render_snapshot({"counters": {"a": 1}, "gauges": {}, "histograms": {}})
+    assert "meta:" not in text
+    assert "a" in text
+
+
+def test_render_empty_snapshot():
+    text = render_snapshot({"counters": {}, "gauges": {}, "histograms": {}})
+    assert "empty" in text
+
+
+def test_main_summary_and_prometheus(tmp_path):
+    path = bench_file(tmp_path)
+    out = io.StringIO()
+    assert obs_main(["--snapshot", str(path)], out=out) == 0
+    assert "exbox.decisions.admitted" in out.getvalue()
+
+    out = io.StringIO()
+    assert obs_main(["--snapshot", str(path), "--format", "prometheus"], out=out) == 0
+    assert 'admittance_retrain_bucket{le="+Inf"} 1' in out.getvalue()
+
+
+def test_main_missing_snapshot_returns_2(tmp_path):
+    out = io.StringIO()
+    assert obs_main(["--snapshot", str(tmp_path / "nope.json")], out=out) == 2
+    assert "not found" in out.getvalue()
+
+
+def test_top_level_cli_dispatches_obs(tmp_path):
+    path = bench_file(tmp_path)
+    out = io.StringIO()
+    assert repro_main(["obs", "--snapshot", str(path)], out=out) == 0
+    assert "exbox.decisions.admitted" in out.getvalue()

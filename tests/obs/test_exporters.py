@@ -1,0 +1,95 @@
+"""Snapshot round-trip, BENCH file format, and Prometheus exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    load_snapshot,
+    snapshot,
+    snapshot_json,
+    to_prometheus,
+    write_bench_json,
+)
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("exbox.decisions.admitted").inc(7)
+    reg.counter("exbox.decisions.rejected").inc(3)
+    reg.gauge("exbox.flows.active").set(4)
+    hist = reg.histogram("admittance.retrain", buckets=[0.001, 0.01, 0.1, 1.0])
+    for v in (0.0005, 0.02, 0.02, 2.5):
+        hist.observe(v)
+    return reg
+
+
+def test_snapshot_shape():
+    snap = snapshot(populated_registry())
+    assert snap["counters"] == {
+        "exbox.decisions.admitted": 7,
+        "exbox.decisions.rejected": 3,
+    }
+    assert snap["gauges"] == {"exbox.flows.active": 4}
+    hist = snap["histograms"]["admittance.retrain"]
+    assert hist["count"] == 4
+    assert hist["buckets"][-1][0] == "+Inf"
+    assert hist["buckets"][-1][1] == 1
+
+
+def test_snapshot_round_trips_exactly():
+    reg = populated_registry()
+    snap = snapshot(reg)
+    rebuilt = load_snapshot(json.loads(json.dumps(snap)))
+    assert snapshot(rebuilt) == snap
+    hist = rebuilt.histogram("admittance.retrain")
+    assert hist.min == pytest.approx(0.0005)
+    assert hist.max == pytest.approx(2.5)
+    assert hist.mean == pytest.approx((0.0005 + 0.02 + 0.02 + 2.5) / 4)
+
+
+def test_empty_histogram_round_trips():
+    reg = MetricsRegistry()
+    reg.histogram("empty", buckets=[1.0])
+    snap = snapshot(reg)
+    rebuilt = load_snapshot(snap)
+    assert rebuilt.histogram("empty").min is None
+    assert snapshot(rebuilt) == snap
+
+
+def test_snapshot_json_is_deterministic():
+    assert snapshot_json(populated_registry()) == snapshot_json(populated_registry())
+
+
+def test_write_bench_json(tmp_path):
+    path = tmp_path / "BENCH_obs.json"
+    out = write_bench_json(path, populated_registry(), meta={"suite": "latency"})
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["meta"] == {"suite": "latency"}
+    assert payload["metrics"] == snapshot(populated_registry())
+
+
+def test_prometheus_exposition():
+    text = to_prometheus(populated_registry())
+    lines = text.splitlines()
+    assert "# TYPE exbox_decisions_admitted counter" in lines
+    assert "exbox_decisions_admitted 7.0" in lines
+    assert "exbox_flows_active 4.0" in lines
+    # Bucket counts are cumulative and end at +Inf == total count.
+    assert 'admittance_retrain_bucket{le="+Inf"} 4' in lines
+    assert 'admittance_retrain_bucket{le="0.01"} 1' in lines
+    assert "admittance_retrain_count 4" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_of_empty_registry_is_empty():
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+def test_load_snapshot_restores_inf_bound():
+    reg = populated_registry()
+    rebuilt = load_snapshot(snapshot(reg))
+    bounds = [b for b, _ in rebuilt.histogram("admittance.retrain").bucket_counts()]
+    assert bounds[-1] == math.inf

@@ -1,0 +1,67 @@
+"""The Obs facade: wiring, NULL_OBS inertness, env activation."""
+
+import pytest
+
+from repro.obs import NULL_OBS, ManualClock, Obs, obs_from_env
+
+
+def test_recording_wires_tracer_to_registry():
+    clock = ManualClock()
+    obs = Obs.recording(clock=clock)
+    assert obs.enabled is True
+    with obs.span("admittance.retrain"):
+        clock.advance(0.5)
+    hist = obs.registry.histogram("admittance.retrain")
+    assert hist.count == 1
+    assert abs(hist.sum - 0.5) < 1e-12
+
+
+def test_delegation_methods():
+    obs = Obs.recording(clock=ManualClock())
+    obs.counter("c").inc()
+    obs.gauge("g").set(3)
+    obs.histogram("h", buckets=[1.0]).observe(0.5)
+    event = obs.emit("phase_transition", phase="online")
+    assert obs.registry.counter("c").value == 1
+    assert event["event"] == "phase_transition"
+    assert obs.events.of_type("phase_transition") == [event]
+
+
+def test_null_obs_is_shared_and_inert():
+    assert Obs.disabled() is NULL_OBS
+    assert NULL_OBS.enabled is False
+    NULL_OBS.counter("x").inc(10)
+    NULL_OBS.gauge("y").set(5)
+    with NULL_OBS.span("z"):
+        pass
+    assert NULL_OBS.emit("anything", k=1) == {}
+    assert len(NULL_OBS.registry) == 0
+
+
+def test_event_clock_is_separate_from_span_clock():
+    span_clock = ManualClock(start=100.0)
+    event_clock = ManualClock(start=7.0)
+    obs = Obs.recording(clock=span_clock, event_clock=event_clock)
+    event = obs.emit("tick")
+    assert event["time"] == pytest.approx(7.0)
+
+
+class TestObsFromEnv:
+    def test_disabled_by_default(self):
+        assert obs_from_env({}) is NULL_OBS
+
+    def test_falsey_values_stay_disabled(self):
+        for value in ("", "0", "false", "FALSE", "no", "No"):
+            assert obs_from_env({"REPRO_OBS": value}) is NULL_OBS
+
+    def test_truthy_value_enables(self):
+        obs = obs_from_env({"REPRO_OBS": "1"})
+        assert obs.enabled is True
+        assert obs is not NULL_OBS
+
+    def test_export_path_implies_enabled(self):
+        obs = obs_from_env({"REPRO_OBS_EXPORT": "BENCH_obs.json"})
+        assert obs.enabled is True
+
+    def test_blank_export_path_does_not_enable(self):
+        assert obs_from_env({"REPRO_OBS_EXPORT": "  "}) is NULL_OBS

@@ -1,0 +1,130 @@
+"""Counters, gauges, histograms, and the (null) registry."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_default_buckets_cover_latency_range(self):
+        h = Histogram("lat")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS_S
+        assert len(h.bucket_counts()) == len(DEFAULT_LATENCY_BUCKETS_S) + 1
+
+    def test_rejects_bad_bucket_specs(self):
+        # An empty spec falls back to the default latency buckets.
+        assert Histogram("h", buckets=[]).buckets == DEFAULT_LATENCY_BUCKETS_S
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_observe_updates_stats_and_buckets(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(100.0)
+        assert h.mean == pytest.approx(105.0 / 4)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 1
+        assert counts[2.0] == 1
+        assert counts[4.0] == 1
+        assert counts[math.inf] == 1
+
+    def test_empty_histogram_reports_none(self):
+        h = Histogram("h", buckets=[1.0])
+        assert h.min is None and h.max is None and h.mean is None
+        assert h.quantile(0.5) is None
+
+    def test_quantile_is_bucket_resolution_and_max_capped(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+        # The top quantile is capped at the true max, not the +Inf bound.
+        assert h.quantile(1.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_views_are_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.gauge("z").set(1)
+        assert list(reg.counters()) == ["a", "b"]
+        assert reg.names() == ["a", "b", "z"]
+        assert len(reg) == 3
+        assert "a" in reg and "missing" not in reg
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NullRegistry().enabled is False
+
+
+class TestNullRegistry:
+    def test_metrics_are_shared_and_inert(self):
+        reg = NullRegistry()
+        c = reg.counter("a")
+        assert c is reg.counter("b")
+        c.inc(100)
+        assert c.value == 0
+        g = reg.gauge("g")
+        g.set(5)
+        g.inc()
+        g.dec()
+        assert g.value == 0
+        h = reg.histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+        assert len(reg) == 0
