@@ -12,18 +12,22 @@ With ``REPRO_OBS_EXPORT=<path>`` in the environment (CI sets
 :class:`repro.obs.Obs` and the full metrics snapshot — the
 ``latency.decision`` / ``svm.fit`` span histograms plus the ExBox
 scheme's own counters — is written to that path for artifact upload;
-``python -m repro obs --snapshot <path>`` summarizes it.
+``python -m repro obs summary --snapshot <path>`` summarizes it, and
+``python -m repro obs check`` gates it against the committed baseline.
+``REPRO_OBS_TRACE=<path>`` additionally writes the run's span trees as
+a Chrome trace-event timeline (open in ``chrome://tracing``/Perfetto).
 """
 
 import os
 
 from repro.experiments.figures import latency_benchmarks
-from repro.obs import Obs, write_bench_json
+from repro.obs import Obs, write_bench_json, write_chrome_trace
 
 
 def test_latency_benchmarks(benchmark, show):
     export = os.environ.get("REPRO_OBS_EXPORT", "").strip()
-    obs = Obs.recording() if export else None
+    trace_export = os.environ.get("REPRO_OBS_TRACE", "").strip()
+    obs = Obs.recording() if export or trace_export else None
     result = benchmark.pedantic(
         lambda: latency_benchmarks(obs=obs), rounds=1, iterations=1
     )
@@ -53,4 +57,11 @@ def test_latency_benchmarks(benchmark, show):
                 "decision_ms": result.decision_ms,
                 "training_ms": {str(k): v for k, v in result.training_ms.items()},
             },
+        )
+    if trace_export:
+        assert obs is not None and obs.tracer.finished
+        write_chrome_trace(
+            trace_export,
+            obs.tracer,
+            meta={"suite": "latency", "source": "benchmarks/test_latency.py"},
         )

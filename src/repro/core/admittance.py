@@ -28,7 +28,15 @@ from repro.ml.svm import SVC
 from repro.ml.validation import cross_val_accuracy
 from repro.obs.facade import NULL_OBS, Obs
 
-__all__ = ["AdmittanceClassifier", "Phase"]
+__all__ = ["AdmittanceClassifier", "Phase", "MARGIN_BUCKETS"]
+
+#: Buckets for the ``admittance.margin`` histogram: SVM margins are
+#: signed distances to the ExCR boundary, so the bounds are symmetric
+#: around zero (negative = rejected side) at boundary-relevant scales.
+MARGIN_BUCKETS = (
+    -5.0, -2.0, -1.0, -0.5, -0.25, -0.1, 0.0,
+    0.1, 0.25, 0.5, 1.0, 2.0, 5.0,
+)
 
 
 class Phase(enum.Enum):
@@ -243,7 +251,11 @@ class AdmittanceClassifier:
         """SVM margin of an encoded arrival (network selection)."""
         if self._phase is not Phase.ONLINE:
             raise RuntimeError("classifier is still bootstrapping")
-        return self._learner.margin_one(x)
+        value = self._learner.margin_one(x)
+        self.obs.histogram("admittance.margin", buckets=MARGIN_BUCKETS).observe(
+            value
+        )
+        return value
 
     def observe_online(self, x: np.ndarray, y: int) -> bool:
         """Record the observed outcome of an arrival; retrains at batch

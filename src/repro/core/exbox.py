@@ -167,7 +167,7 @@ class ExBox:
         of rejections. The caller must feed the observed outcome back via
         :meth:`report_outcome` for learning to happen.
         """
-        with self.obs.span("exbox.handle_arrival"):
+        with self.obs.span("exbox.handle_arrival") as span_record:
             app_class = self._resolve_class(request, packets)
             level = self.binner.level_index(request.snr_db)
             cls_idx = APP_CLASSES.index(app_class)
@@ -211,6 +211,22 @@ class ExBox:
                 self.obs.counter("exbox.decisions.rejected").inc()
             self._update_occupancy_gauges()
             if self.obs.enabled:
+                # The handle_arrival span is still open; elapsed so far is
+                # the decision time the flight recorder should carry.
+                elapsed = (
+                    self.obs.tracer.clock() - span_record.start
+                    if span_record is not None
+                    else None
+                )
+                self.obs.recorder.record(
+                    matrix=event.matrix_before,
+                    app_class=app_class,
+                    snr_level=level,
+                    phase=decision.phase.value,
+                    admitted=decision.admitted,
+                    margin=decision.margin,
+                    elapsed_s=elapsed,
+                )
                 self.obs.emit(
                     "admission_decision",
                     app_class=app_class,

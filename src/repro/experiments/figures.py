@@ -33,6 +33,7 @@ from repro.experiments.harness import (
     run_comparison,
 )
 from repro.experiments.latency import (
+    measure_admission_quality,
     measure_decision_latency,
     measure_training_latency,
     median_ms,
@@ -835,6 +836,9 @@ def latency_benchmarks(
         decision_ms[scheme.name] = median_ms(
             measure_decision_latency(scheme, test_samples, obs=obs)
         )
+    # Decision quality over the held-out stream, exported as the
+    # latency.eval.* gauges the CI baseline gate watches.
+    measure_admission_quality(exbox, test_samples, obs=obs)
     training_ms = {
         n: median_ms(measure_training_latency(n, obs=obs)) for n in training_sizes
     }

@@ -16,12 +16,13 @@ land in that registry's span histograms (``latency.decision``,
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.baselines import AdmissionScheme
 from repro.experiments.datasets import LabeledSample
+from repro.ml.metrics import accuracy_score, precision_score, recall_score
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SVC
 from repro.obs.facade import Obs
@@ -29,6 +30,7 @@ from repro.obs.facade import Obs
 __all__ = [
     "measure_decision_latency",
     "measure_training_latency",
+    "measure_admission_quality",
     "median_ms",
 ]
 
@@ -73,6 +75,36 @@ def measure_decision_latency(
             with span:
                 scheme.decide(sample.event)
     return _span_durations(obs, DECISION_SPAN, first)
+
+
+def measure_admission_quality(
+    scheme: AdmissionScheme,
+    samples: Sequence[LabeledSample],
+    obs: Optional[Obs] = None,
+) -> Dict[str, float]:
+    """Precision/recall/accuracy of a scheme over labelled samples.
+
+    These are the Section 5 decision-quality figures the CI baseline
+    gate watches alongside the latency histograms: a code change that
+    silently flips admission decisions shows up here as a precision or
+    recall drop even when it leaves the latency distributions alone.
+    When a recording ``obs`` is passed the three numbers land in its
+    registry as the ``latency.eval.precision`` / ``latency.eval.recall``
+    / ``latency.eval.accuracy`` gauges, exported with the snapshot.
+    """
+    if not samples:
+        raise ValueError("no labelled samples")
+    obs = obs if obs is not None and obs.enabled else Obs.recording()
+    y_true = [sample.y for sample in samples]
+    y_pred = [scheme.decide(sample.event) for sample in samples]
+    quality = {
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "accuracy": accuracy_score(y_true, y_pred),
+    }
+    for key in sorted(quality):
+        obs.gauge(f"latency.eval.{key}").set(quality[key])
+    return quality
 
 
 def measure_training_latency(

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import FrozenSet, Iterator, Optional, Tuple
 
-__all__ = ["PaperRef", "RepoContext", "extract_refs"]
+__all__ = ["PaperRef", "RepoContext", "extract_obs_names", "extract_refs"]
 
 # "Figure 12", "Fig. 5", "Figures 7-11" (ASCII hyphen, en- or em-dash).
 _FIGURE = re.compile(
@@ -31,6 +31,14 @@ _SECTION = re.compile(
 # Files whose presence marks the repository root.
 _ROOT_MARKERS = ("pyproject.toml", ".git")
 _MAPPING_RELPATH = Path("docs") / "paper_mapping.md"
+_OBS_DOC_RELPATH = Path("docs") / "observability.md"
+
+# OBS002's catalogue: every backtick-quoted token in observability.md
+# that looks like an instrument name (dotted lowercase path or a bare
+# snake_case event type). Deliberately permissive — over-collecting
+# produces false negatives for the linter, never false positives.
+_BACKTICK = re.compile(r"`([^`\n]+)`")
+_OBS_NAME = re.compile(r"^\.?[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)*$")
 
 # DET001 exempts the one module that is *supposed* to construct
 # generators: the seeded-stream registry.
@@ -60,6 +68,34 @@ def extract_refs(text: str) -> Iterator[PaperRef]:
             yield PaperRef("section", match.group("num"), offset)
 
 
+def extract_obs_names(text: str) -> FrozenSet[str]:
+    """Instrument names catalogued in observability.md prose/tables.
+
+    Tables abbreviate sibling metrics as ``exbox.decisions.admitted`` /
+    ``.rejected``; a leading-dot token is expanded against the most
+    recent full dotted name by replacing its trailing components.
+    """
+    names = set()
+    last_full: Optional[str] = None
+    for match in _BACKTICK.finditer(text):
+        token = match.group(1).strip()
+        if not _OBS_NAME.match(token):
+            continue
+        if token.startswith("."):
+            if last_full is None:
+                continue
+            suffix = token[1:].split(".")
+            base = last_full.split(".")
+            if len(base) <= len(suffix):
+                continue
+            names.add(".".join(base[: -len(suffix)] + suffix))
+        else:
+            names.add(token)
+            if "." in token:
+                last_full = token
+    return frozenset(names)
+
+
 def _section_matches(ref: str, known: FrozenSet[str]) -> bool:
     """Prefix matching on dot boundaries: §4 covers §4.1 and vice versa."""
     if ref in known:
@@ -78,16 +114,25 @@ class RepoContext:
     mapping_path: Optional[str] = None
     figures: FrozenSet[str] = field(default_factory=frozenset)
     sections: FrozenSet[str] = field(default_factory=frozenset)
+    obs_doc_path: Optional[str] = None
+    obs_names: FrozenSet[str] = field(default_factory=frozenset)
 
     @property
     def has_mapping(self) -> bool:
         return self.mapping_path is not None
+
+    @property
+    def has_obs_catalogue(self) -> bool:
+        return self.obs_doc_path is not None
 
     def knows_figure(self, number: str) -> bool:
         return number in self.figures
 
     def knows_section(self, number: str) -> bool:
         return _section_matches(number, self.sections)
+
+    def knows_obs_name(self, name: str) -> bool:
+        return name in self.obs_names
 
     @classmethod
     def discover(cls, start: Path) -> "RepoContext":
@@ -103,14 +148,24 @@ class RepoContext:
     @classmethod
     def from_root(cls, root: Path) -> "RepoContext":
         mapping = root / _MAPPING_RELPATH
+        obs_doc = root / _OBS_DOC_RELPATH
+        obs_doc_path: Optional[str] = None
+        obs_names: FrozenSet[str] = frozenset()
+        if obs_doc.is_file():
+            obs_doc_path = str(obs_doc)
+            obs_names = extract_obs_names(obs_doc.read_text(encoding="utf-8"))
         if not mapping.is_file():
-            return cls(root=str(root))
+            return cls(
+                root=str(root), obs_doc_path=obs_doc_path, obs_names=obs_names
+            )
         figures, sections = _parse_mapping(mapping.read_text(encoding="utf-8"))
         return cls(
             root=str(root),
             mapping_path=str(mapping),
             figures=figures,
             sections=sections,
+            obs_doc_path=obs_doc_path,
+            obs_names=obs_names,
         )
 
 

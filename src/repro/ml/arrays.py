@@ -1,0 +1,16 @@
+"""Input-array alias shared by the ML modules' public signatures.
+
+Every model normalizes its inputs with ``np.asarray`` at the call
+boundary, so callers may hand over an ndarray, a single feature row, or
+a sequence of rows; this alias names that contract once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["ArrayLike"]
+
+ArrayLike = Union[np.ndarray, Sequence[float], Sequence[Sequence[float]]]

@@ -8,9 +8,20 @@ experiment logs and resolved from string names in configuration.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Dict, Union
+
 import numpy as np
 
-__all__ = ["LinearKernel", "PolynomialKernel", "RBFKernel", "resolve_kernel"]
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "RBFKernel",
+    "resolve_kernel",
+]
+
+#: What the SVM actually needs: any Gram-matrix callable.
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 class LinearKernel:
@@ -112,14 +123,14 @@ class PolynomialKernel:
         return hash((self.name, self.degree, self.coef0))
 
 
-_KERNELS = {
+_KERNELS: Dict[str, Callable[..., Kernel]] = {
     "linear": LinearKernel,
     "rbf": RBFKernel,
     "poly": PolynomialKernel,
 }
 
 
-def resolve_kernel(spec, **kwargs):
+def resolve_kernel(spec: Union[str, Kernel], **kwargs: Any) -> Kernel:
     """Return a kernel object from a name, callable or kernel instance.
 
     >>> resolve_kernel("rbf", gamma=0.5)

@@ -12,8 +12,12 @@ Here "admit" is the positive (+1) class.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
+
+#: Labels arrive as lists from the harnesses or arrays from the models.
+LabelArray = Union[np.ndarray, Sequence[float], Sequence[int]]
 
 __all__ = [
     "ClassificationReport",
@@ -25,39 +29,41 @@ __all__ = [
 ]
 
 
-def _as_labels(y) -> np.ndarray:
-    y = np.asarray(y, dtype=float).ravel()
-    bad = set(np.unique(y)) - {-1.0, 1.0}
+def _as_labels(y: LabelArray) -> np.ndarray:
+    arr = np.asarray(y, dtype=float).ravel()
+    bad = set(np.unique(arr)) - {-1.0, 1.0}
     if bad:
         raise ValueError(f"labels must be in {{-1, +1}}, got extra {sorted(bad)}")
-    return y
+    return arr
 
 
-def confusion_matrix(y_true, y_pred) -> np.ndarray:
+def confusion_matrix(y_true: LabelArray, y_pred: LabelArray) -> np.ndarray:
     """Return ``[[tn, fp], [fn, tp]]`` for ±1 labels."""
-    y_true = _as_labels(y_true)
-    y_pred = _as_labels(y_pred)
-    if y_true.shape != y_pred.shape:
+    yt = _as_labels(y_true)
+    yp = _as_labels(y_pred)
+    if yt.shape != yp.shape:
         raise ValueError("y_true and y_pred have mismatched lengths")
-    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
-    tn = int(np.sum((y_true == -1) & (y_pred == -1)))
-    fp = int(np.sum((y_true == -1) & (y_pred == 1)))
-    fn = int(np.sum((y_true == 1) & (y_pred == -1)))
+    tp = int(np.sum((yt == 1) & (yp == 1)))
+    tn = int(np.sum((yt == -1) & (yp == -1)))
+    fp = int(np.sum((yt == -1) & (yp == 1)))
+    fn = int(np.sum((yt == 1) & (yp == -1)))
     return np.array([[tn, fp], [fn, tp]])
 
 
-def accuracy_score(y_true, y_pred) -> float:
+def accuracy_score(y_true: LabelArray, y_pred: LabelArray) -> float:
     """Fraction of decisions (admit or reject) that were correct."""
-    y_true = _as_labels(y_true)
-    y_pred = _as_labels(y_pred)
-    if y_true.shape != y_pred.shape:
+    yt = _as_labels(y_true)
+    yp = _as_labels(y_pred)
+    if yt.shape != yp.shape:
         raise ValueError("y_true and y_pred have mismatched lengths")
-    if y_true.size == 0:
+    if yt.size == 0:
         return 0.0
-    return float(np.mean(y_true == y_pred))
+    return float(np.mean(yt == yp))
 
 
-def precision_score(y_true, y_pred, default: float = 1.0) -> float:
+def precision_score(
+    y_true: LabelArray, y_pred: LabelArray, default: float = 1.0
+) -> float:
     """Correctly admitted / admitted; ``default`` when nothing was admitted.
 
     The paper's convention: an admission controller that admits nothing
@@ -66,18 +72,20 @@ def precision_score(y_true, y_pred, default: float = 1.0) -> float:
     (_, fp), (_, tp) = confusion_matrix(y_true, y_pred)
     if tp + fp == 0:
         return default
-    return tp / (tp + fp)
+    return float(tp / (tp + fp))
 
 
-def recall_score(y_true, y_pred, default: float = 1.0) -> float:
+def recall_score(
+    y_true: LabelArray, y_pred: LabelArray, default: float = 1.0
+) -> float:
     """Correctly admitted / admissible; ``default`` when nothing was admissible."""
     (_, _), (fn, tp) = confusion_matrix(y_true, y_pred)
     if tp + fn == 0:
         return default
-    return tp / (tp + fn)
+    return float(tp / (tp + fn))
 
 
-def f1_score(y_true, y_pred) -> float:
+def f1_score(y_true: LabelArray, y_pred: LabelArray) -> float:
     """Harmonic mean of precision and recall (0.0 when both are 0)."""
     p = precision_score(y_true, y_pred, default=0.0)
     r = recall_score(y_true, y_pred, default=0.0)
@@ -96,13 +104,15 @@ class ClassificationReport:
     n_samples: int
 
     @classmethod
-    def from_predictions(cls, y_true, y_pred) -> "ClassificationReport":
-        y_true = _as_labels(y_true)
+    def from_predictions(
+        cls, y_true: LabelArray, y_pred: LabelArray
+    ) -> "ClassificationReport":
+        yt = _as_labels(y_true)
         return cls(
-            precision=precision_score(y_true, y_pred),
-            recall=recall_score(y_true, y_pred),
-            accuracy=accuracy_score(y_true, y_pred),
-            n_samples=int(y_true.size),
+            precision=precision_score(yt, y_pred),
+            recall=recall_score(yt, y_pred),
+            accuracy=accuracy_score(yt, y_pred),
+            n_samples=int(yt.size),
         )
 
     def as_row(self) -> str:

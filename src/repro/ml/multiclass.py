@@ -9,10 +9,11 @@ calibrated probabilities.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.ml.arrays import ArrayLike
 from repro.ml.svm import SVC
 
 __all__ = ["OneVsRestClassifier"]
@@ -25,14 +26,16 @@ class OneVsRestClassifier:
     labels in {-1, +1} and ``decision_function(X)``.
     """
 
-    def __init__(self, model_factory: Optional[Callable] = None) -> None:
-        self.model_factory = model_factory or (
+    def __init__(self, model_factory: Optional[Callable[[], Any]] = None) -> None:
+        self.model_factory: Callable[[], Any] = model_factory or (
             lambda: SVC(C=10.0, kernel="rbf", random_state=3)
         )
-        self._models: Dict[object, object] = {}
+        self._models: Dict[Any, Any] = {}
         self.classes_: Optional[np.ndarray] = None
 
-    def fit(self, X, y: Sequence) -> "OneVsRestClassifier":
+    def fit(
+        self, X: ArrayLike, y: Union[np.ndarray, Sequence[Any]]
+    ) -> "OneVsRestClassifier":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y)
         if X.shape[0] != y.shape[0]:
@@ -50,7 +53,7 @@ class OneVsRestClassifier:
             self._models[cls] = model
         return self
 
-    def decision_matrix(self, X) -> np.ndarray:
+    def decision_matrix(self, X: ArrayLike) -> np.ndarray:
         """(n_samples, n_classes) matrix of per-class decision values."""
         if self.classes_ is None:
             raise RuntimeError("classifier must be fitted before inference")
@@ -59,10 +62,12 @@ class OneVsRestClassifier:
             [self._models[cls].decision_function(X) for cls in self.classes_]
         )
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier must be fitted before inference")
         scores = self.decision_matrix(X)
-        return self.classes_[np.argmax(scores, axis=1)]
+        return np.asarray(self.classes_[np.argmax(scores, axis=1)])
 
-    def score(self, X, y) -> float:
+    def score(self, X: ArrayLike, y: Union[np.ndarray, Sequence[Any]]) -> float:
         y = np.asarray(y)
         return float(np.mean(self.predict(X) == y))

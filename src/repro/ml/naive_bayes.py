@@ -8,9 +8,11 @@ this classifier is multi-class.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.ml.arrays import ArrayLike
 
 __all__ = ["GaussianNaiveBayes"]
 
@@ -18,13 +20,20 @@ __all__ = ["GaussianNaiveBayes"]
 class GaussianNaiveBayes:
     """Multi-class naive Bayes with per-class diagonal Gaussians."""
 
+    # Fit products; populated by :meth:`fit` (guarded by ``classes_``).
+    theta_: np.ndarray
+    var_: np.ndarray
+    log_prior_: np.ndarray
+
     def __init__(self, var_smoothing: float = 1e-9) -> None:
         if var_smoothing < 0:
             raise ValueError("var_smoothing must be non-negative")
         self.var_smoothing = float(var_smoothing)
         self.classes_: Optional[np.ndarray] = None
 
-    def fit(self, X, y: Sequence) -> "GaussianNaiveBayes":
+    def fit(
+        self, X: ArrayLike, y: Union[np.ndarray, Sequence[Any]]
+    ) -> "GaussianNaiveBayes":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y)
         if X.shape[0] != y.shape[0]:
@@ -43,7 +52,7 @@ class GaussianNaiveBayes:
             self.var_[idx] = Xc.var(axis=0) + eps
         return self
 
-    def _joint_log_likelihood(self, X) -> np.ndarray:
+    def _joint_log_likelihood(self, X: ArrayLike) -> np.ndarray:
         if self.classes_ is None:
             raise RuntimeError("model must be fitted before inference")
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -57,16 +66,18 @@ class GaussianNaiveBayes:
             out[:, idx] = self.log_prior_[idx] + log_pdf.sum(axis=1)
         return out
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("model must be fitted before inference")
         jll = self._joint_log_likelihood(X)
-        return self.classes_[np.argmax(jll, axis=1)]
+        return np.asarray(self.classes_[np.argmax(jll, axis=1)])
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: ArrayLike) -> np.ndarray:
         jll = self._joint_log_likelihood(X)
         jll -= jll.max(axis=1, keepdims=True)
         probs = np.exp(jll)
-        return probs / probs.sum(axis=1, keepdims=True)
+        return np.asarray(probs / probs.sum(axis=1, keepdims=True))
 
-    def score(self, X, y) -> float:
+    def score(self, X: ArrayLike, y: Union[np.ndarray, Sequence[Any]]) -> float:
         y = np.asarray(y)
         return float(np.mean(self.predict(X) == y))

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.ml.arrays import ArrayLike
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SVC
 
@@ -92,7 +93,7 @@ class BatchOnlineSVM:
         """True once a full batch accumulated since the last retrain."""
         return self._since_retrain >= self.batch_size
 
-    def add_sample(self, x, y: float) -> None:
+    def add_sample(self, x: ArrayLike, y: float) -> None:
         """Record one observed ``(X_m, Y_m)`` tuple without retraining."""
         x = np.asarray(x, dtype=float).ravel()
         if y not in (-1, 1, -1.0, 1.0):
@@ -118,7 +119,7 @@ class BatchOnlineSVM:
         # Positions shifted; rebuild the key index once per eviction burst.
         self._index = {k: i for i, k in enumerate(self._keys)}
 
-    def observe(self, x, y: float) -> bool:
+    def observe(self, x: ArrayLike, y: float) -> bool:
         """Record a sample and retrain when the batch boundary is hit.
 
         Returns True when a retrain happened.
@@ -147,7 +148,7 @@ class BatchOnlineSVM:
             self._scaler = StandardScaler().fit(X)
             X = self._scaler.transform(X)
         model = self.model_factory()
-        alpha_init = None
+        alpha_init: Optional[List[float]] = None
         if self.warm_start and self._alpha_by_key and isinstance(model, SVC):
             alpha_init = [self._alpha_by_key.get(key, 0.0) for key in self._keys]
         if alpha_init is not None:
@@ -160,26 +161,26 @@ class BatchOnlineSVM:
         self._since_retrain = 0
         self.n_retrains += 1
 
-    def _prepare(self, X) -> np.ndarray:
+    def _prepare(self, X: ArrayLike) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if self._scaler is not None:
             X = self._scaler.transform(X)
         return X
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
         if self._model is None:
             raise RuntimeError("model has not been trained yet")
         return self._model.predict(self._prepare(X))
 
-    def predict_one(self, x) -> float:
+    def predict_one(self, x: ArrayLike) -> float:
         return float(self.predict(np.atleast_2d(np.asarray(x, dtype=float)))[0])
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: ArrayLike) -> np.ndarray:
         if self._model is None:
             raise RuntimeError("model has not been trained yet")
         return self._model.decision_function(self._prepare(X))
 
-    def margin_one(self, x) -> float:
+    def margin_one(self, x: ArrayLike) -> float:
         """SVM margin for one point (used for network selection)."""
         return float(
             self.decision_function(np.atleast_2d(np.asarray(x, dtype=float)))[0]

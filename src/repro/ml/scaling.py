@@ -7,7 +7,11 @@ fit/transform protocol and are safe on constant features.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
+
+from repro.ml.arrays import ArrayLike
 
 __all__ = ["StandardScaler", "MinMaxScaler"]
 
@@ -20,10 +24,10 @@ class StandardScaler:
     """
 
     def __init__(self) -> None:
-        self.mean_ = None
-        self.scale_ = None
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
 
-    def fit(self, X) -> "StandardScaler":
+    def fit(self, X: ArrayLike) -> "StandardScaler":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[0] == 0:
             raise ValueError("cannot fit a scaler on an empty array")
@@ -33,20 +37,20 @@ class StandardScaler:
         self.scale_ = std
         return self
 
-    def transform(self, X) -> np.ndarray:
-        if self.mean_ is None:
+    def transform(self, X: ArrayLike) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("scaler must be fitted before transform")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return (X - self.mean_) / self.scale_
+        return np.asarray((X - self.mean_) / self.scale_)
 
-    def fit_transform(self, X) -> np.ndarray:
+    def fit_transform(self, X: ArrayLike) -> np.ndarray:
         return self.fit(X).transform(X)
 
-    def inverse_transform(self, X) -> np.ndarray:
-        if self.mean_ is None:
+    def inverse_transform(self, X: ArrayLike) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
             raise RuntimeError("scaler must be fitted before inverse_transform")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return X * self.scale_ + self.mean_
+        return np.asarray(X * self.scale_ + self.mean_)
 
 
 class MinMaxScaler:
@@ -55,15 +59,15 @@ class MinMaxScaler:
     Constant columns map to ``lo``.
     """
 
-    def __init__(self, feature_range=(0.0, 1.0)) -> None:
+    def __init__(self, feature_range: Tuple[float, float] = (0.0, 1.0)) -> None:
         lo, hi = feature_range
         if not lo < hi:
             raise ValueError("feature_range must satisfy lo < hi")
         self.feature_range = (float(lo), float(hi))
-        self.min_ = None
-        self.range_ = None
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
 
-    def fit(self, X) -> "MinMaxScaler":
+    def fit(self, X: ArrayLike) -> "MinMaxScaler":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[0] == 0:
             raise ValueError("cannot fit a scaler on an empty array")
@@ -73,21 +77,21 @@ class MinMaxScaler:
         self.range_ = rng
         return self
 
-    def transform(self, X) -> np.ndarray:
-        if self.min_ is None:
+    def transform(self, X: ArrayLike) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
             raise RuntimeError("scaler must be fitted before transform")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         lo, hi = self.feature_range
         unit = (X - self.min_) / self.range_
-        return unit * (hi - lo) + lo
+        return np.asarray(unit * (hi - lo) + lo)
 
-    def fit_transform(self, X) -> np.ndarray:
+    def fit_transform(self, X: ArrayLike) -> np.ndarray:
         return self.fit(X).transform(X)
 
-    def inverse_transform(self, X) -> np.ndarray:
-        if self.min_ is None:
+    def inverse_transform(self, X: ArrayLike) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
             raise RuntimeError("scaler must be fitted before inverse_transform")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         lo, hi = self.feature_range
         unit = (X - lo) / (hi - lo)
-        return unit * self.range_ + self.min_
+        return np.asarray(unit * self.range_ + self.min_)

@@ -17,11 +17,12 @@ maintained error cache, and the second-choice heuristic of maximizing
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from repro.ml.kernels import resolve_kernel
+from repro.ml.arrays import ArrayLike
+from repro.ml.kernels import Kernel, resolve_kernel
 from repro.obs.facade import NULL_OBS, Obs
 
 __all__ = ["SVC", "NotFittedError"]
@@ -58,11 +59,20 @@ class SVC:
         default records nothing.
     """
 
+    # Fit products; populated by :meth:`fit` (guarded by ``_fitted``).
+    _n_features: int
+    _constant: Optional[float]
+    _alpha: np.ndarray
+    _sv_X: np.ndarray
+    _sv_y: np.ndarray
+    _alpha_all_: np.ndarray
+    _b: float
+
     def __init__(
         self,
         C: float = 1.0,
-        kernel="rbf",
-        gamma="scale",
+        kernel: Union[str, Kernel] = "rbf",
+        gamma: Union[float, str] = "scale",
         tol: float = 1e-3,
         max_iter: int = 100000,
         random_state: Optional[int] = None,
@@ -91,7 +101,12 @@ class SVC:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, X, y, alpha_init=None) -> "SVC":
+    def fit(
+        self,
+        X: ArrayLike,
+        y: ArrayLike,
+        alpha_init: Optional[ArrayLike] = None,
+    ) -> "SVC":
         """Fit the classifier on ``X`` (n, d) and labels ``y`` in {-1, +1}.
 
         Degenerate single-class training sets are accepted: the model then
@@ -137,7 +152,9 @@ class SVC:
         self.obs.gauge("svm.support_vectors").set(self._sv_X.shape[0])
         return self
 
-    def _sanitize_alpha_init(self, alpha_init, y: np.ndarray):
+    def _sanitize_alpha_init(
+        self, alpha_init: Optional[ArrayLike], y: np.ndarray
+    ) -> Optional[np.ndarray]:
         """Clip a warm-start vector into the feasible region."""
         if alpha_init is None:
             return None
@@ -154,7 +171,9 @@ class SVC:
             alpha[side] *= (mass - abs(imbalance)) / mass
         return alpha
 
-    def _smo(self, X: np.ndarray, y: np.ndarray, alpha0=None) -> None:
+    def _smo(
+        self, X: np.ndarray, y: np.ndarray, alpha0: Optional[np.ndarray] = None
+    ) -> None:
         """SMO with maximal-violating-pair working-set selection.
 
         Each iteration picks the pair that most violates the KKT
@@ -178,7 +197,6 @@ class SVC:
         eps = 1e-10
 
         pos, neg = y > 0, y < 0
-        up = low = None
         for _ in range(self.max_iter):
             bound_lo, bound_hi = alpha > eps, alpha < self.C - eps
             up = (pos & bound_hi) | (neg & bound_lo)
@@ -214,7 +232,13 @@ class SVC:
             # Optimizer found no boundary; predict the majority class.
             self._b = float(np.sign(y.sum()) or 1.0)
 
-    def _bias_from_kkt(self, alpha, errors, y, eps: float) -> float:
+    def _bias_from_kkt(
+        self,
+        alpha: np.ndarray,
+        errors: np.ndarray,
+        y: np.ndarray,
+        eps: float,
+    ) -> float:
         """Reconstruct b after SMO: free SVs satisfy y_i (f_raw + b) = 1,
         i.e. b = -(f_raw_i - y_i) = -errors_i; without free SVs use the
         Keerthi midpoint of the up/low sets."""
@@ -228,7 +252,15 @@ class SVC:
             return float(-0.5 * (errors[up].min() + errors[low].max()))
         return 0.0
 
-    def _step(self, i, j, alpha, errors, y, K) -> bool:
+    def _step(
+        self,
+        i: int,
+        j: int,
+        alpha: np.ndarray,
+        errors: np.ndarray,
+        y: np.ndarray,
+        K: np.ndarray,
+    ) -> bool:
         """Optimize one multiplier pair; errors are bias-free f_raw - y."""
         if i == j:
             return False
@@ -261,7 +293,7 @@ class SVC:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: ArrayLike) -> np.ndarray:
         """Signed margin ``f(x)`` for each row of ``X``.
 
         Positive values classify as +1. ExBox's network-selection logic
@@ -281,13 +313,13 @@ class SVC:
         if self._alpha.shape[0] == 0:
             return np.full(X.shape[0], self._b)
         K = self.kernel(self._sv_X, X)
-        return (self._alpha * self._sv_y) @ K + self._b
+        return np.asarray((self._alpha * self._sv_y) @ K + self._b)
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
         """Predict labels in {-1, +1} for each row of ``X``."""
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: ArrayLike, y: ArrayLike) -> float:
         """Mean accuracy of ``predict(X)`` against ``y``."""
         y = np.asarray(y, dtype=float).ravel()
         return float(np.mean(self.predict(X) == y))

@@ -12,9 +12,11 @@ same ``fit``/``predict``/``decision_function``/``score`` interface as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.ml.arrays import ArrayLike
 
 __all__ = ["DecisionTreeClassifier"]
 
@@ -75,7 +77,7 @@ class DecisionTreeClassifier:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, X, y) -> "DecisionTreeClassifier":
+    def fit(self, X: ArrayLike, y: ArrayLike) -> "DecisionTreeClassifier":
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if X.shape[0] != y.shape[0]:
@@ -88,10 +90,13 @@ class DecisionTreeClassifier:
         self._root = self._build(X, y, depth=0)
         return self
 
-    def _best_split(self, X: np.ndarray, y: np.ndarray):
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Tuple[Optional[int], Optional[float], float]:
         n, d = X.shape
         parent = _gini(y)
-        best = (None, None, 0.0)  # feature, threshold, improvement
+        # (feature, threshold, improvement)
+        best: Tuple[Optional[int], Optional[float], float] = (None, None, 0.0)
         for feature in range(d):
             order = np.argsort(X[:, feature], kind="stable")
             xs, ys = X[order, feature], y[order]
@@ -126,7 +131,11 @@ class DecisionTreeClassifier:
         ):
             return node
         feature, threshold, improvement = self._best_split(X, y)
-        if feature is None or improvement < self.min_impurity_decrease:
+        if (
+            feature is None
+            or threshold is None
+            or improvement < self.min_impurity_decrease
+        ):
             return node
         mask = X[:, feature] <= threshold
         node.feature = feature
@@ -138,50 +147,53 @@ class DecisionTreeClassifier:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def _leaf_value(self, x: np.ndarray) -> float:
-        node = self._root
-        while not node.is_leaf:
+    @staticmethod
+    def _leaf_value(x: np.ndarray, node: _Node) -> float:
+        while node.left is not None and node.right is not None:
             node = node.left if x[node.feature] <= node.threshold else node.right
         return node.value
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: ArrayLike) -> np.ndarray:
         """Mean leaf label in [-1, 1]; sign classifies, magnitude is the
         leaf purity (a rough margin analogue)."""
-        if self._root is None:
+        root = self._root
+        if root is None:
             raise RuntimeError("tree must be fitted before inference")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         if X.shape[1] != self._n_features:
             raise ValueError(f"expected {self._n_features} features, got {X.shape[1]}")
-        return np.array([self._leaf_value(row) for row in X])
+        return np.array([self._leaf_value(row, root) for row in X])
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: ArrayLike) -> np.ndarray:
         return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
 
-    def score(self, X, y) -> float:
+    def score(self, X: ArrayLike, y: ArrayLike) -> float:
         y = np.asarray(y, dtype=float).ravel()
         return float(np.mean(self.predict(X) == y))
 
     @property
     def depth_(self) -> int:
         """Realized depth of the fitted tree."""
-        if self._root is None:
+        root = self._root
+        if root is None:
             raise RuntimeError("tree must be fitted before inspection")
 
         def walk(node: _Node) -> int:
-            if node.is_leaf:
+            if node.left is None or node.right is None:
                 return 0
             return 1 + max(walk(node.left), walk(node.right))
 
-        return walk(self._root)
+        return walk(root)
 
     @property
     def n_leaves_(self) -> int:
-        if self._root is None:
+        root = self._root
+        if root is None:
             raise RuntimeError("tree must be fitted before inspection")
 
         def walk(node: _Node) -> int:
-            if node.is_leaf:
+            if node.left is None or node.right is None:
                 return 1
             return walk(node.left) + walk(node.right)
 
-        return walk(self._root)
+        return walk(root)

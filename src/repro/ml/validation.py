@@ -7,9 +7,11 @@ provides that machinery.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from repro.ml.arrays import ArrayLike
 
 __all__ = ["KFold", "cross_val_accuracy", "train_test_split"]
 
@@ -51,9 +53,9 @@ class KFold:
 
 
 def cross_val_accuracy(
-    model_factory,
-    X,
-    y,
+    model_factory: Callable[[], Any],
+    X: ArrayLike,
+    y: ArrayLike,
     n_splits: int = 5,
     random_state: Optional[int] = None,
 ) -> float:
@@ -70,17 +72,20 @@ def cross_val_accuracy(
     if X.shape[0] != y.shape[0]:
         raise ValueError("X and y have mismatched lengths")
     kf = KFold(n_splits=n_splits, shuffle=True, random_state=random_state)
-    scores = []
+    scores: List[float] = []
     for train_idx, test_idx in kf.split(X.shape[0]):
         model = model_factory()
         model.fit(X[train_idx], y[train_idx])
-        scores.append(model.score(X[test_idx], y[test_idx]))
+        scores.append(float(model.score(X[test_idx], y[test_idx])))
     return float(np.mean(scores))
 
 
 def train_test_split(
-    X, y, test_fraction: float = 0.25, random_state: Optional[int] = None
-):
+    X: ArrayLike,
+    y: ArrayLike,
+    test_fraction: float = 0.25,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Random split into ``(X_train, X_test, y_train, y_test)``."""
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")

@@ -1,0 +1,345 @@
+"""Declarative SLO/alert rules evaluated against the metrics registry.
+
+A rule is a threshold over one statistic of one metric::
+
+    decision-latency-slo:  latency.decision p99 > 0.05 for 3 samples
+
+expressed as data (``metric``, ``stat``, ``op``, ``value``,
+``for_n_samples``) so operators configure alerting without touching
+code — from a plain dict spec anywhere, or from TOML on interpreters
+that ship :mod:`tomllib`.
+
+:class:`AlertEngine` evaluates the armed rules against a registry on
+demand (experiments call :meth:`AlertEngine.evaluate` at natural
+checkpoints — batch boundaries, episode ends, watch ticks). A rule fires
+once its condition has held for ``for_n_samples`` consecutive
+evaluations, emits a structured ``alert_fired`` event, and — when a
+flight recorder is attached — triggers the post-mortem dump of the last
+N decision records. The rule re-arms after an evaluation where the
+condition no longer holds (``alert_cleared``).
+
+Nothing here mutates the metrics it reads: alerting is a pure consumer
+of :mod:`repro.obs.registry`, so arming rules cannot perturb decisions.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, IO, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.facade import Obs
+
+__all__ = [
+    "AlertRule",
+    "AlertEvent",
+    "AlertEngine",
+    "rules_from_dict",
+    "rules_from_toml",
+    "STATS",
+    "OPS",
+]
+
+#: Comparison operators a rule may use.
+OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: Statistics a rule may read. ``value`` applies to counters and gauges;
+#: the rest apply to histograms (quantiles are bucket-resolution).
+STATS = ("value", "count", "sum", "mean", "min", "max", "p50", "p90", "p95", "p99")
+
+_QUANTILES = {"p50": 0.5, "p90": 0.9, "p95": 0.95, "p99": 0.99}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule.
+
+    Parameters
+    ----------
+    name:
+        Rule identifier carried on fired events.
+    metric:
+        Registry metric name (``latency.decision``).
+    op / value:
+        The threshold condition, e.g. ``">" 0.05``.
+    stat:
+        Which statistic of the metric to test (see :data:`STATS`).
+    for_n_samples:
+        Consecutive breaching evaluations required before firing
+        (hysteresis against one-off spikes); 1 fires immediately.
+    """
+
+    name: str
+    metric: str
+    op: str
+    value: float
+    stat: str = "value"
+    for_n_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {sorted(OPS)}")
+        if self.stat not in STATS:
+            raise ValueError(
+                f"unknown stat {self.stat!r}; expected one of {STATS}"
+            )
+        if self.for_n_samples < 1:
+            raise ValueError("for_n_samples must be >= 1")
+
+    def observe(self, registry: MetricsRegistry) -> Optional[float]:
+        """Current value of this rule's statistic; None when unavailable
+        (missing metric, or an empty histogram's mean/extrema)."""
+        metric = registry.get(self.metric)
+        if metric is None:
+            return None
+        if isinstance(metric, Histogram):
+            if self.stat == "value":
+                raise ValueError(
+                    f"rule {self.name!r}: stat 'value' does not apply to "
+                    f"histogram {self.metric!r}; use count/sum/mean/min/max/p*"
+                )
+            if self.stat == "count":
+                return float(metric.count)
+            if self.stat == "sum":
+                return metric.sum
+            if self.stat in _QUANTILES:
+                return metric.quantile(_QUANTILES[self.stat])
+            return getattr(metric, self.stat)
+        if isinstance(metric, (Counter, Gauge)):
+            if self.stat != "value":
+                raise ValueError(
+                    f"rule {self.name!r}: stat {self.stat!r} does not apply "
+                    f"to {type(metric).__name__.lower()} {self.metric!r}"
+                )
+            return metric.value
+        return None
+
+    def breached(self, observed: Optional[float]) -> bool:
+        """Whether ``observed`` violates the threshold (None never does)."""
+        if observed is None:
+            return False
+        return OPS[self.op](observed, self.value)
+
+    def describe(self) -> str:
+        return f"{self.metric} {self.stat} {self.op} {self.value:g}"
+
+
+@dataclass
+class AlertEvent:
+    """One rule firing, with everything a post-mortem needs."""
+
+    rule: str
+    metric: str
+    stat: str
+    op: str
+    threshold: float
+    observed: float
+    streak: int
+    dump: Optional[str] = None  # flight-recorder JSON-lines, when attached
+
+    def to_fields(self) -> Dict[str, Any]:
+        """Flat dict for structured-event emission (dump excluded)."""
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "stat": self.stat,
+            "op": self.op,
+            "threshold": self.threshold,
+            "observed": self.observed,
+            "streak": self.streak,
+        }
+
+
+@dataclass
+class _RuleState:
+    streak: int = 0
+    active: bool = False
+
+
+class AlertEngine:
+    """Evaluates armed rules and drives firing side effects.
+
+    Parameters
+    ----------
+    rules:
+        The armed :class:`AlertRule` set.
+    obs:
+        Optional :class:`~repro.obs.facade.Obs` handle. Supplies the
+        default registry for :meth:`evaluate`, the event log for
+        ``alert_fired``/``alert_cleared`` emission, and (unless
+        ``recorder`` overrides it) the flight recorder to dump.
+    recorder:
+        Flight recorder to dump when a rule fires; defaults to
+        ``obs.recorder`` when an obs handle is given.
+    dump_last_n:
+        Post-mortem window: how many of the most recent decision records
+        each firing dumps (None = everything retained).
+    dump_stream:
+        Optional text stream the dump is also written to (a JSON-lines
+        file, stderr, ...).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        obs: Optional["Obs"] = None,
+        recorder: Optional[FlightRecorder] = None,
+        dump_last_n: Optional[int] = 64,
+        dump_stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.rules: List[AlertRule] = list(rules)
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError("rule names must be unique")
+        self.obs = obs
+        if recorder is None and obs is not None and obs.recorder.enabled:
+            recorder = obs.recorder
+        self.recorder = recorder
+        self.dump_last_n = dump_last_n
+        self.dump_stream = dump_stream
+        self._states: Dict[str, _RuleState] = {r.name: _RuleState() for r in self.rules}
+        self.fired: List[AlertEvent] = []
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> List[AlertEvent]:
+        """Evaluate every rule once; returns the events fired this pass."""
+        if registry is None:
+            if self.obs is None:
+                raise ValueError("no registry given and no obs handle attached")
+            registry = self.obs.registry
+        fired: List[AlertEvent] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            observed = rule.observe(registry)
+            if not rule.breached(observed):
+                if state.active and self.obs is not None:
+                    self.obs.emit(
+                        "alert_cleared", rule=rule.name, metric=rule.metric
+                    )
+                state.streak = 0
+                state.active = False
+                continue
+            state.streak += 1
+            if state.active or state.streak < rule.for_n_samples:
+                continue
+            state.active = True
+            event = AlertEvent(
+                rule=rule.name,
+                metric=rule.metric,
+                stat=rule.stat,
+                op=rule.op,
+                threshold=rule.value,
+                observed=float(observed),  # type: ignore[arg-type]
+                streak=state.streak,
+            )
+            self._fire(event)
+            fired.append(event)
+        self.fired.extend(fired)
+        return fired
+
+    def _fire(self, event: AlertEvent) -> None:
+        if self.obs is not None:
+            self.obs.emit("alert_fired", **event.to_fields())
+        if self.recorder is not None and self.recorder.enabled:
+            event.dump = self.recorder.dump(last_n=self.dump_last_n)
+            if self.dump_stream is not None:
+                self.dump_stream.write(event.dump)
+            if self.obs is not None:
+                self.obs.emit(
+                    "recorder_dump",
+                    rule=event.rule,
+                    records=min(
+                        len(self.recorder),
+                        self.dump_last_n if self.dump_last_n is not None else len(self.recorder),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_active(self, rule_name: str) -> bool:
+        """Whether ``rule_name`` is currently firing (not yet re-armed)."""
+        return self._states[rule_name].active
+
+    def streak(self, rule_name: str) -> int:
+        return self._states[rule_name].streak
+
+
+# ----------------------------------------------------------------------
+# Spec loading
+# ----------------------------------------------------------------------
+_RULE_KEYS = {"name", "metric", "op", "value", "stat", "for_n_samples"}
+
+
+def _rule_from_mapping(entry: Mapping[str, Any], index: int) -> AlertRule:
+    unknown = set(entry) - _RULE_KEYS
+    if unknown:
+        raise ValueError(
+            f"rule #{index}: unknown key(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(_RULE_KEYS)}"
+        )
+    missing = {"metric", "op", "value"} - set(entry)
+    if missing:
+        raise ValueError(f"rule #{index}: missing required key(s) {sorted(missing)}")
+    return AlertRule(
+        name=str(entry.get("name", f"rule-{index}")),
+        metric=str(entry["metric"]),
+        op=str(entry["op"]),
+        value=float(entry["value"]),
+        stat=str(entry.get("stat", "value")),
+        for_n_samples=int(entry.get("for_n_samples", 1)),
+    )
+
+
+def rules_from_dict(
+    spec: Union[Mapping[str, Any], Sequence[Mapping[str, Any]]]
+) -> List[AlertRule]:
+    """Build rules from a spec dict (``{"rules": [...]}``) or a bare list.
+
+    Each entry needs ``metric``/``op``/``value`` and may set ``name``,
+    ``stat`` (default ``value``) and ``for_n_samples`` (default 1).
+    """
+    if isinstance(spec, Mapping):
+        entries = spec.get("rules", [])
+    else:
+        entries = list(spec)
+    return [_rule_from_mapping(entry, i) for i, entry in enumerate(entries)]
+
+
+def rules_from_toml(text: str) -> List[AlertRule]:
+    """Build rules from a TOML document with ``[[rules]]`` tables::
+
+        [[rules]]
+        name = "decision-latency-slo"
+        metric = "latency.decision"
+        stat = "p99"
+        op = ">"
+        value = 0.05
+        for_n_samples = 3
+
+    Requires :mod:`tomllib` (Python 3.11+); on older interpreters use
+    :func:`rules_from_dict` with an equivalent spec.
+    """
+    try:
+        import tomllib
+    except ImportError as exc:  # Python <3.11; the dict spec always works.
+        raise RuntimeError(
+            "TOML alert specs need Python 3.11+ (tomllib); "
+            "use rules_from_dict instead"
+        ) from exc
+    return rules_from_dict(tomllib.loads(text))

@@ -1,4 +1,5 @@
-"""Exporters: JSON snapshots (``BENCH_*.json``) and Prometheus text.
+"""Exporters: JSON snapshots (``BENCH_*.json``), Prometheus text, and
+Chrome trace-event timelines.
 
 The JSON snapshot is the canonical interchange form — a plain dict of
 counters, gauges, and histograms that round-trips losslessly through
@@ -11,6 +12,12 @@ what CI uploads to start the performance trajectory.
 exposition format (metric names are dot-separated internally and
 underscore-flattened on export) for anyone pointing a real scrape at a
 long-lived run.
+
+:func:`to_chrome_trace` turns a tracer's finished span trees into the
+Chrome trace-event format, so one experiment's timing becomes a timeline
+loadable in ``chrome://tracing`` / Perfetto: each span is one complete
+(``"ph": "X"``) event whose nesting the viewer reconstructs from the
+start/duration overlap.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracing import SpanRecord, Tracer
 
 __all__ = [
     "snapshot",
@@ -28,6 +36,8 @@ __all__ = [
     "snapshot_json",
     "write_bench_json",
     "to_prometheus",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]
 
 _INF_LABEL = "+Inf"
@@ -101,6 +111,64 @@ def write_bench_json(
     payload = {"meta": dict(meta or {}), "metrics": snapshot(registry)}
     path.write_text(
         json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def _span_events(
+    record: SpanRecord, out: List[Dict[str, Any]], pid: int, tid: int
+) -> None:
+    if record.end is None:  # still open; not part of the finished timeline
+        return
+    out.append(
+        {
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": record.start * 1e6,  # trace-event timestamps are in µs
+            "dur": record.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+    )
+    for child in record.children:
+        _span_events(child, out, pid, tid)
+
+
+def to_chrome_trace(
+    tracer: Tracer, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Chrome trace-event dict of every finished root span tree.
+
+    The result loads directly into ``chrome://tracing`` or Perfetto:
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with one complete
+    event per span, emitted depth-first in root-completion order so the
+    output is deterministic for a given run. Spans still open at export
+    time are omitted (they have no duration yet).
+    """
+    events: List[Dict[str, Any]] = []
+    for root in tracer.roots:
+        _span_events(root, events, pid=1, tid=1)
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["otherData"] = dict(meta)
+    return payload
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer: Tracer,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write :func:`to_chrome_trace` JSON to ``path``."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(to_chrome_trace(tracer, meta=meta), sort_keys=True, indent=2)
+        + "\n",
+        encoding="utf-8",
     )
     return path
 

@@ -27,6 +27,7 @@ from typing import Any, Mapping, Optional, Sequence
 
 from repro.obs.clock import Clock
 from repro.obs.events import EventDict, EventLog, EventSink, NullEventLog
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
 from repro.obs.tracing import NullTracer, SpanHandle, Tracer
 
@@ -46,10 +47,12 @@ class Obs:
         registry: MetricsRegistry,
         tracer: Tracer,
         events: EventLog,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         self.registry = registry
         self.tracer = tracer
         self.events = events
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def enabled(self) -> bool:
@@ -64,16 +67,24 @@ class Obs:
         clock: Optional[Clock] = None,
         event_sinks: Optional[Sequence[EventSink]] = None,
         event_clock: Optional[Clock] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> "Obs":
-        """A live handle: recording registry, span-fed histograms.
+        """A live handle: recording registry, span-fed histograms, and a
+        decision flight recorder.
 
         ``clock`` drives span timing (``perf_counter`` by default);
         ``event_clock`` — separate, off by default — timestamps events.
+        ``recorder`` defaults to a fresh bounded :class:`FlightRecorder`
+        (a deque append per decision; pass ``NULL_RECORDER`` to opt out).
         """
         registry = MetricsRegistry()
         tracer = Tracer(clock=clock, registry=registry)
         events = EventLog(sinks=event_sinks, clock=event_clock)
-        return cls(registry=registry, tracer=tracer, events=events)
+        if recorder is None:
+            recorder = FlightRecorder()
+        return cls(
+            registry=registry, tracer=tracer, events=events, recorder=recorder
+        )
 
     @classmethod
     def disabled(cls) -> "Obs":

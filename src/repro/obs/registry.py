@@ -56,6 +56,10 @@ class Counter:
             raise ValueError("counters only go up; use a Gauge")
         self._value += amount
 
+    def reset(self) -> None:
+        """Return to zero (a new run, not a decrement)."""
+        self._value = 0.0
+
     @property
     def value(self) -> float:
         return self._value
@@ -78,6 +82,9 @@ class Gauge:
 
     def dec(self, amount: float = 1.0) -> None:
         self._value -= amount
+
+    def reset(self) -> None:
+        self._value = 0.0
 
     @property
     def value(self) -> float:
@@ -122,6 +129,14 @@ class Histogram:
                 self._counts[i] += 1
                 return
         self._counts[-1] += 1
+
+    def reset(self) -> None:
+        """Drop every observation; bucket bounds are kept."""
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     @property
     def count(self) -> int:
@@ -214,6 +229,17 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every metric in place, keeping registrations.
+
+        Counters and gauges return to 0, histograms drop their
+        observations but keep their bucket bounds — so a registry reset
+        between episodes preserves metric identity (names, kinds,
+        buckets) while starting the numbers over.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
 
     def names(self) -> List[str]:
         return sorted(self._metrics)

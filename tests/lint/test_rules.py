@@ -471,6 +471,140 @@ class TestOBS001:
 
 
 # ----------------------------------------------------------------------
+# OBS002 — instrument names vs docs/observability.md
+# ----------------------------------------------------------------------
+class TestOBS002:
+    CONTEXT = RepoContext(
+        root="/repo",
+        obs_doc_path="/repo/docs/observability.md",
+        obs_names=frozenset(
+            {
+                "exbox.decisions.admitted",
+                "exbox.decisions.rejected",
+                "latency.decision",
+                "admission_decision",
+            }
+        ),
+    )
+
+    def test_fires_on_uncatalogued_counter(self):
+        findings = run(
+            """\
+            def decide(obs):
+                obs.counter("exbox.decisions.ghost").inc()
+            __all__ = ["decide"]
+            """,
+            context=self.CONTEXT,
+        )
+        assert rule_lines(findings, "OBS002") == [2]
+
+    def test_fires_on_uncatalogued_span_and_event(self):
+        findings = run(
+            """\
+            def decide(obs):
+                with obs.span("exbox.mystery"):
+                    obs.emit("mystery_event", ok=True)
+            __all__ = ["decide"]
+            """,
+            context=self.CONTEXT,
+        )
+        assert rule_lines(findings, "OBS002") == [2, 3]
+
+    def test_silent_on_catalogued_names(self):
+        findings = run(
+            """\
+            def decide(obs):
+                obs.counter("exbox.decisions.admitted").inc()
+                obs.gauge("exbox.decisions.rejected").set(1)
+                with obs.span("latency.decision"):
+                    obs.emit("admission_decision", admitted=True)
+            __all__ = ["decide"]
+            """,
+            context=self.CONTEXT,
+        )
+        assert rule_lines(findings, "OBS002") == []
+
+    def test_skips_dynamic_and_non_literal_names(self):
+        # f-strings, variables, and conditional expressions are out of
+        # scope: only plain literals are checkable.
+        findings = run(
+            """\
+            SPAN = "some.constant"
+
+            def decide(obs, key, label):
+                obs.gauge(f"latency.eval.{key}").set(1.0)
+                with obs.span(SPAN):
+                    obs.counter(
+                        "exbox.decisions.admitted"
+                        if label > 0
+                        else "exbox.decisions.rejected"
+                    ).inc()
+            __all__ = ["SPAN", "decide"]
+            """,
+            context=self.CONTEXT,
+        )
+        assert rule_lines(findings, "OBS002") == []
+
+    def test_silent_without_catalogue(self):
+        findings = run(
+            """\
+            def decide(obs):
+                obs.counter("exbox.decisions.ghost").inc()
+            __all__ = ["decide"]
+            """,
+            context=RepoContext(),
+        )
+        assert rule_lines(findings, "OBS002") == []
+
+    def test_silent_outside_library_tree(self):
+        findings = run(
+            """\
+            def decide(obs):
+                obs.counter("exbox.decisions.ghost").inc()
+            """,
+            relpath="tests/core/test_mod.py",
+            context=self.CONTEXT,
+        )
+        assert rule_lines(findings, "OBS002") == []
+
+
+class TestObsCatalogueParsing:
+    def test_extracts_full_and_suffix_names(self):
+        from repro.lint.context import extract_obs_names
+
+        names = extract_obs_names(
+            "| `exbox.decisions.admitted` / `.rejected` / `.demoted` | counter |\n"
+            "- `admission_decision` — app class, admitted.\n"
+            "Uses `DEFAULT_LATENCY_BUCKETS_S` and `Obs.recording()`.\n"
+        )
+        assert "exbox.decisions.admitted" in names
+        assert "exbox.decisions.rejected" in names
+        assert "exbox.decisions.demoted" in names
+        assert "admission_decision" in names
+        # Non-name tokens (uppercase constants, call syntax) are ignored.
+        assert "DEFAULT_LATENCY_BUCKETS_S" not in names
+        assert not any("(" in n for n in names)
+
+    def test_repo_catalogue_covers_pipeline_literals(self):
+        # The real docs/observability.md must know the real names.
+        from pathlib import Path
+
+        from repro.lint.context import RepoContext
+
+        root = Path(__file__).resolve().parents[2]
+        context = RepoContext.from_root(root)
+        assert context.has_obs_catalogue
+        for name in (
+            "exbox.handle_arrival",
+            "admittance.margin",
+            "latency.eval.precision",
+            "alert_fired",
+            "recorder_dump",
+        ):
+            assert context.knows_obs_name(name), name
+
+
+# ----------------------------------------------------------------------
 # Engine-level behaviour
 # ----------------------------------------------------------------------
 class TestEngine:

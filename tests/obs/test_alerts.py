@@ -1,0 +1,258 @@
+"""SLO alert rules: threshold evaluation, hysteresis, and recorder dumps."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    AlertEngine,
+    AlertRule,
+    FlightRecorder,
+    MetricsRegistry,
+    Obs,
+    rules_from_dict,
+    rules_from_toml,
+)
+
+
+def latency_rule(**overrides):
+    fields = dict(
+        name="decision-latency-slo",
+        metric="latency.decision",
+        stat="p99",
+        op=">",
+        value=0.05,
+        for_n_samples=1,
+    )
+    fields.update(overrides)
+    return AlertRule(**fields)
+
+
+def registry_with_latency(values):
+    reg = MetricsRegistry()
+    hist = reg.histogram("latency.decision")
+    for v in values:
+        hist.observe(v)
+    return reg
+
+
+class TestAlertRule:
+    def test_validates_op(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            latency_rule(op="~")
+
+    def test_validates_stat(self):
+        with pytest.raises(ValueError, match="unknown stat"):
+            latency_rule(stat="p42")
+
+    def test_validates_for_n_samples(self):
+        with pytest.raises(ValueError, match="for_n_samples"):
+            latency_rule(for_n_samples=0)
+
+    def test_observe_histogram_stats(self):
+        reg = registry_with_latency([0.001, 0.002, 0.2])
+        assert latency_rule(stat="count").observe(reg) == 3
+        assert latency_rule(stat="sum").observe(reg) == pytest.approx(0.203)
+        assert latency_rule(stat="max").observe(reg) == pytest.approx(0.2)
+        # p99 lands in the bucket holding the slowest observation.
+        assert latency_rule(stat="p99").observe(reg) >= 0.2
+
+    def test_observe_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("exbox.decisions.rejected").inc(4)
+        reg.gauge("exbox.flows.active").set(9)
+        rule = AlertRule("r", "exbox.decisions.rejected", ">", 3)
+        assert rule.observe(reg) == 4
+        rule = AlertRule("g", "exbox.flows.active", ">=", 9)
+        assert rule.observe(reg) == 9
+
+    def test_stat_kind_mismatch_raises(self):
+        reg = registry_with_latency([0.001])
+        with pytest.raises(ValueError, match="does not apply"):
+            latency_rule(stat="value").observe(reg)
+        reg.counter("c").inc()
+        with pytest.raises(ValueError, match="does not apply"):
+            AlertRule("r", "c", ">", 0, stat="p99").observe(reg)
+
+    def test_missing_metric_observes_none_and_never_breaches(self):
+        rule = latency_rule()
+        assert rule.observe(MetricsRegistry()) is None
+        assert rule.breached(None) is False
+
+    def test_empty_histogram_stat_is_none(self):
+        reg = MetricsRegistry()
+        reg.histogram("latency.decision")
+        assert latency_rule(stat="mean").observe(reg) is None
+
+    def test_describe(self):
+        assert latency_rule().describe() == "latency.decision p99 > 0.05"
+
+
+class TestAlertEngine:
+    def test_fires_immediately_with_for_1(self):
+        reg = registry_with_latency([0.2] * 5)
+        engine = AlertEngine([latency_rule()])
+        fired = engine.evaluate(reg)
+        assert [e.rule for e in fired] == ["decision-latency-slo"]
+        assert fired[0].observed >= 0.2
+        assert fired[0].threshold == pytest.approx(0.05)
+        assert engine.is_active("decision-latency-slo")
+
+    def test_hysteresis_needs_consecutive_breaches(self):
+        reg = registry_with_latency([0.2] * 5)
+        engine = AlertEngine([latency_rule(for_n_samples=3)])
+        assert engine.evaluate(reg) == []
+        assert engine.evaluate(reg) == []
+        fired = engine.evaluate(reg)
+        assert len(fired) == 1
+        assert fired[0].streak == 3
+
+    def test_streak_resets_on_recovery(self):
+        engine = AlertEngine([latency_rule(for_n_samples=2)])
+        assert engine.evaluate(registry_with_latency([0.2])) == []
+        assert engine.streak("decision-latency-slo") == 1
+        # Healthy pass resets the streak before the second breach.
+        assert engine.evaluate(registry_with_latency([0.001])) == []
+        assert engine.streak("decision-latency-slo") == 0
+        assert engine.evaluate(registry_with_latency([0.2])) == []
+
+    def test_fires_once_then_rearms_after_clear(self):
+        bad = registry_with_latency([0.2] * 5)
+        good = registry_with_latency([0.001] * 5)
+        engine = AlertEngine([latency_rule()])
+        assert len(engine.evaluate(bad)) == 1
+        # Still breaching: active, no duplicate fire.
+        assert engine.evaluate(bad) == []
+        # Recovery re-arms ...
+        assert engine.evaluate(good) == []
+        assert not engine.is_active("decision-latency-slo")
+        # ... so the next breach fires again.
+        assert len(engine.evaluate(bad)) == 1
+        assert len(engine.fired) == 2
+
+    def test_unique_rule_names_required(self):
+        with pytest.raises(ValueError, match="unique"):
+            AlertEngine([latency_rule(), latency_rule()])
+
+    def test_evaluate_without_registry_or_obs_raises(self):
+        with pytest.raises(ValueError, match="no registry"):
+            AlertEngine([latency_rule()]).evaluate()
+
+    def test_obs_supplies_registry_and_events(self):
+        obs = Obs.recording()
+        for v in (0.2, 0.2):
+            obs.histogram("latency.decision").observe(v)
+        engine = AlertEngine([latency_rule()], obs=obs)
+        fired = engine.evaluate()
+        assert len(fired) == 1
+        types = [e["event"] for e in obs.events.records]
+        assert "alert_fired" in types
+        fired_event = obs.events.of_type("alert_fired")[0]
+        assert fired_event["rule"] == "decision-latency-slo"
+        assert fired_event["metric"] == "latency.decision"
+        # Recovery emits the clear event.
+        engine.evaluate(registry_with_latency([0.001]))
+        assert obs.events.of_type("alert_cleared")
+
+    def test_firing_dumps_flight_recorder(self):
+        obs = Obs.recording()
+        obs.recorder.record(
+            matrix=(2, 1, 0),
+            app_class="video",
+            snr_level=0,
+            phase="online",
+            admitted=False,
+            margin=-0.4,
+        )
+        obs.histogram("latency.decision").observe(0.2)
+        stream = io.StringIO()
+        engine = AlertEngine([latency_rule()], obs=obs, dump_stream=stream)
+        (event,) = engine.evaluate()
+        parsed = [json.loads(line) for line in event.dump.splitlines()]
+        assert parsed[0]["admitted"] is False
+        assert parsed[0]["margin"] == pytest.approx(-0.4)
+        assert stream.getvalue() == event.dump
+        assert obs.events.of_type("recorder_dump")[0]["records"] == 1
+
+    def test_dump_last_n_limits_postmortem_window(self):
+        obs = Obs.recording()
+        for i in range(10):
+            obs.recorder.record(
+                matrix=(i,), app_class="web", snr_level=0,
+                phase="online", admitted=True,
+            )
+        obs.histogram("latency.decision").observe(0.2)
+        engine = AlertEngine([latency_rule()], obs=obs, dump_last_n=4)
+        (event,) = engine.evaluate()
+        assert len(event.dump.splitlines()) == 4
+
+    def test_explicit_recorder_overrides_obs(self):
+        obs = Obs.recording()
+        mine = FlightRecorder()
+        mine.record(
+            matrix=(1,), app_class="voice", snr_level=0,
+            phase="online", admitted=True,
+        )
+        obs.histogram("latency.decision").observe(0.2)
+        engine = AlertEngine([latency_rule()], obs=obs, recorder=mine)
+        (event,) = engine.evaluate()
+        assert json.loads(event.dump)["app_class"] == "voice"
+
+    def test_no_dump_without_any_recorder(self):
+        reg = registry_with_latency([0.2])
+        engine = AlertEngine([latency_rule()])
+        (event,) = engine.evaluate(reg)
+        assert event.dump is None
+
+
+class TestSpecLoading:
+    def test_rules_from_dict_spec(self):
+        rules = rules_from_dict(
+            {
+                "rules": [
+                    {
+                        "name": "slo",
+                        "metric": "latency.decision",
+                        "stat": "p99",
+                        "op": ">",
+                        "value": 0.05,
+                        "for_n_samples": 3,
+                    },
+                    {"metric": "exbox.decisions.rejected", "op": ">=", "value": 10},
+                ]
+            }
+        )
+        assert [r.name for r in rules] == ["slo", "rule-1"]
+        assert rules[0].for_n_samples == 3
+        assert rules[1].stat == "value"
+
+    def test_rules_from_bare_list(self):
+        rules = rules_from_dict(
+            [{"metric": "m", "op": "<", "value": 1.0}]
+        )
+        assert len(rules) == 1 and rules[0].op == "<"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            rules_from_dict([{"metric": "m", "op": ">", "value": 1, "sev": "hi"}])
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            rules_from_dict([{"metric": "m", "op": ">"}])
+
+    def test_rules_from_toml(self):
+        pytest.importorskip("tomllib")
+        rules = rules_from_toml(
+            '[[rules]]\n'
+            'name = "slo"\n'
+            'metric = "latency.decision"\n'
+            'stat = "p99"\n'
+            'op = ">"\n'
+            'value = 0.05\n'
+            'for_n_samples = 3\n'
+        )
+        assert len(rules) == 1
+        assert rules[0] == AlertRule(
+            "slo", "latency.decision", ">", 0.05, stat="p99", for_n_samples=3
+        )

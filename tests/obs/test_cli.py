@@ -1,10 +1,10 @@
-"""`repro obs` snapshot summaries (and the top-level CLI hand-off)."""
+"""`repro obs` subcommands (and the top-level CLI hand-off)."""
 
 import io
 import json
 
 from repro.cli import main as repro_main
-from repro.obs import MetricsRegistry, write_bench_json
+from repro.obs import MetricsRegistry, snapshot, write_bench_json
 from repro.obs.cli import main as obs_main, render_snapshot
 
 
@@ -61,3 +61,158 @@ def test_top_level_cli_dispatches_obs(tmp_path):
     out = io.StringIO()
     assert repro_main(["obs", "--snapshot", str(path)], out=out) == 0
     assert "exbox.decisions.admitted" in out.getvalue()
+
+
+def test_explicit_summary_subcommand(tmp_path):
+    path = bench_file(tmp_path)
+    out = io.StringIO()
+    assert obs_main(["summary", "--snapshot", str(path)], out=out) == 0
+    assert "exbox.decisions.admitted" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# watch
+# ----------------------------------------------------------------------
+def test_watch_counts_ticks_and_reports_no_change(tmp_path):
+    path = bench_file(tmp_path)
+    out = io.StringIO()
+    rc = obs_main(
+        ["watch", "--snapshot", str(path), "--interval", "0", "--count", "3"],
+        out=out,
+    )
+    assert rc == 0
+    text = out.getvalue()
+    assert text.count("watch tick") == 3
+    assert "(no change since last tick)" in text
+
+
+def test_watch_reports_delta_between_ticks(tmp_path, monkeypatch):
+    path = bench_file(tmp_path)
+
+    def bump(_seconds):
+        # Rewrite the snapshot during the inter-tick sleep, as a live
+        # run holding REPRO_OBS_EXPORT open would.
+        reg = MetricsRegistry()
+        reg.counter("exbox.decisions.admitted").inc(20)
+        write_bench_json(path, reg, meta={"suite": "latency"})
+
+    monkeypatch.setattr("repro.obs.cli.time.sleep", bump)
+    out = io.StringIO()
+    rc = obs_main(
+        ["watch", "--snapshot", str(path), "--interval", "1", "--count", "2"],
+        out=out,
+    )
+    assert rc == 0
+    assert "since last tick:" in out.getvalue()
+    assert "+8" in out.getvalue()  # 12 -> 20 admitted
+
+
+def test_watch_tolerates_missing_snapshot(tmp_path):
+    out = io.StringIO()
+    rc = obs_main(
+        ["watch", "--snapshot", str(tmp_path / "nope.json"),
+         "--interval", "0", "--count", "1"],
+        out=out,
+    )
+    assert rc == 0
+    assert "waiting" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def _write_snapshots(tmp_path):
+    a = bench_file(tmp_path)
+    reg = MetricsRegistry()
+    reg.counter("exbox.decisions.admitted").inc(30)
+    reg.gauge("exbox.flows.active").set(5)
+    hist = reg.histogram("admittance.retrain", buckets=[0.1, 1.0])
+    hist.observe(0.25)
+    hist.observe(5.0)
+    b = write_bench_json(tmp_path / "BENCH_b.json", reg, meta={"suite": "latency"})
+    return a, b
+
+
+def test_diff_reports_changes(tmp_path):
+    a, b = _write_snapshots(tmp_path)
+    out = io.StringIO()
+    assert obs_main(["diff", str(a), str(b)], out=out) == 0
+    text = out.getvalue()
+    assert "exbox.decisions.admitted" in text and "+18" in text
+    assert "admittance.retrain" in text
+
+
+def test_diff_exit_code_flag(tmp_path):
+    a, b = _write_snapshots(tmp_path)
+    out = io.StringIO()
+    assert obs_main(["diff", str(a), str(b), "--exit-code"], out=out) == 1
+    out = io.StringIO()
+    assert obs_main(["diff", str(a), str(a), "--exit-code"], out=out) == 0
+
+
+def test_diff_missing_file_returns_2(tmp_path):
+    a = bench_file(tmp_path)
+    out = io.StringIO()
+    assert obs_main(["diff", str(a), str(tmp_path / "nope.json")], out=out) == 2
+    assert "not found" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+def _write_gated_baseline(tmp_path):
+    reg = MetricsRegistry()
+    hist = reg.histogram("latency.decision")
+    for v in (0.001, 0.002, 0.003):
+        hist.observe(v)
+    payload = {
+        "meta": {"suite": "latency"},
+        "metrics": snapshot(reg),
+        "gate": {
+            "histograms": {
+                "latency.decision": {"stat": "p99", "max_ratio": 10.0}
+            },
+            "gauges": {},
+        },
+    }
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_check_passes_on_baseline(tmp_path):
+    base = _write_gated_baseline(tmp_path)
+    out = io.StringIO()
+    rc = obs_main(
+        ["check", "--baseline", str(base), "--candidate", str(base)], out=out
+    )
+    assert rc == 0
+    assert "baseline gate: OK" in out.getvalue()
+
+
+def test_check_fails_on_regression(tmp_path):
+    base = _write_gated_baseline(tmp_path)
+    reg = MetricsRegistry()
+    for v in (0.001, 0.002, 0.5):
+        reg.histogram("latency.decision").observe(v)
+    cand = tmp_path / "candidate.json"
+    cand.write_text(
+        json.dumps({"metrics": snapshot(reg)}), encoding="utf-8"
+    )
+    out = io.StringIO()
+    rc = obs_main(
+        ["check", "--baseline", str(base), "--candidate", str(cand)], out=out
+    )
+    assert rc == 1
+    assert "FAIL" in out.getvalue()
+
+
+def test_check_missing_file_returns_2(tmp_path):
+    base = _write_gated_baseline(tmp_path)
+    out = io.StringIO()
+    rc = obs_main(
+        ["check", "--baseline", str(base),
+         "--candidate", str(tmp_path / "nope.json")],
+        out=out,
+    )
+    assert rc == 2

@@ -1,0 +1,71 @@
+"""Snapshot diffing: scalar deltas, histogram shifts, added/removed."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, diff_snapshots, snapshot
+
+
+def snap(latencies=(), admitted=0, extra=None):
+    reg = MetricsRegistry()
+    reg.counter("exbox.decisions.admitted").inc(admitted)
+    reg.gauge("exbox.flows.active").set(3)
+    hist = reg.histogram("latency.decision")
+    for v in latencies:
+        hist.observe(v)
+    if extra:
+        reg.counter(extra).inc()
+    return snapshot(reg)
+
+
+class TestDiff:
+    def test_identical_snapshots_have_no_changes(self):
+        a = snap(latencies=[0.001], admitted=5)
+        diff = diff_snapshots(a, a)
+        assert not diff.any_changes
+        assert "identical" in diff.render()
+
+    def test_scalar_delta(self):
+        diff = diff_snapshots(snap(admitted=5), snap(admitted=9))
+        (changed,) = [s for s in diff.scalars if s.changed]
+        assert changed.name == "exbox.decisions.admitted"
+        assert changed.delta == pytest.approx(4)
+        assert "+4" in diff.render()
+
+    def test_histogram_regression_is_reported(self):
+        before = snap(latencies=[0.001] * 20)
+        after = snap(latencies=[0.001] * 20 + [0.4])
+        diff = diff_snapshots(before, after)
+        (hist,) = diff.histograms
+        assert hist.name == "latency.decision"
+        assert hist.changed
+        assert hist.ratio("p99") > 10
+        text = diff.render()
+        assert "latency.decision" in text
+        assert "p99" in text
+
+    def test_added_and_removed_metrics(self):
+        diff = diff_snapshots(snap(), snap(extra="svm.fits"))
+        assert diff.added == ["svm.fits"]
+        assert diff.removed == []
+        assert "only in B: svm.fits" in diff.render()
+        reverse = diff_snapshots(snap(extra="svm.fits"), snap())
+        assert reverse.removed == ["svm.fits"]
+
+    def test_empty_to_nonempty_histogram(self):
+        diff = diff_snapshots(snap(), snap(latencies=[0.001]))
+        (hist,) = diff.histograms
+        assert hist.changed
+        assert hist.before["mean"] is None
+        # No ratio against an empty side.
+        assert hist.ratio("mean") is None
+
+    def test_accepts_bench_payload_wrapper(self):
+        a = {"meta": {"suite": "latency"}, "metrics": snap(admitted=1)}
+        b = {"meta": {"suite": "latency"}, "metrics": snap(admitted=2)}
+        assert diff_snapshots(a, b).any_changes
+
+    def test_render_all_shows_unchanged(self):
+        a = snap(admitted=5)
+        text = diff_snapshots(a, a).render(only_changed=False)
+        assert "exbox.decisions.admitted" in text
+        assert "exbox.flows.active" in text

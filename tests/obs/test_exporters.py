@@ -93,3 +93,46 @@ def test_load_snapshot_restores_inf_bound():
     rebuilt = load_snapshot(snapshot(reg))
     bounds = [b for b, _ in rebuilt.histogram("admittance.retrain").bucket_counts()]
     assert bounds[-1] == math.inf
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+def test_empty_registry_snapshot_round_trips():
+    snap = snapshot(MetricsRegistry())
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+    rebuilt = load_snapshot(json.loads(json.dumps(snap)))
+    assert len(rebuilt) == 0
+    assert snapshot(rebuilt) == snap
+
+
+def test_prometheus_histogram_with_zero_observations():
+    reg = MetricsRegistry()
+    reg.histogram("latency.decision", buckets=[0.001, 0.01])
+    text = to_prometheus(reg)
+    lines = text.splitlines()
+    assert "# TYPE latency_decision histogram" in lines
+    assert 'latency_decision_bucket{le="0.001"} 0' in lines
+    assert 'latency_decision_bucket{le="+Inf"} 0' in lines
+    assert "latency_decision_count 0" in lines
+    assert "latency_decision_sum 0.0" in lines
+
+
+def test_snapshot_round_trips_after_registry_reset():
+    reg = populated_registry()
+    reg.reset()
+    snap = snapshot(reg)
+    # Registrations survive the reset; every number starts over.
+    assert snap["counters"] == {
+        "exbox.decisions.admitted": 0,
+        "exbox.decisions.rejected": 0,
+    }
+    assert snap["gauges"] == {"exbox.flows.active": 0}
+    hist = snap["histograms"]["admittance.retrain"]
+    assert hist["count"] == 0
+    assert hist["min"] is None and hist["max"] is None
+    assert all(count == 0 for _, count in hist["buckets"])
+    rebuilt = load_snapshot(json.loads(json.dumps(snap)))
+    assert snapshot(rebuilt) == snap
+    # The rebuilt registry keeps the original bucket bounds.
+    assert rebuilt.histogram("admittance.retrain").buckets == (0.001, 0.01, 0.1, 1.0)
