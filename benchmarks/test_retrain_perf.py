@@ -1,0 +1,139 @@
+"""Retrain hot-path benchmark: amortized vs cold (docs/performance.md).
+
+The paper's Section 5.3 numbers make SVM training the dominant online
+cost (~360 ms at 50 samples, >2 s at 1000 with the authors' stack). The
+amortization work — incremental Gram cache, warm-started SMO, frozen
+kernel epochs — attacks exactly that term. This benchmark replays a
+seeded ~1000-arrival closed-loop workload twice, once with the amortized
+path and once fully cold, and compares the cumulative online-phase
+retrain wall-clock.
+
+With ``REPRO_OBS_EXPORT=<path>`` in the environment (CI sets
+``BENCH_perf.json``), the amortized run is instrumented and the snapshot
+— ``admittance.retrain`` span latencies, ``retrain.amortization`` reuse
+fractions, ``gram.cache.*`` counters, plus precision/recall gauges
+computed against the closed loop's measured ground truth — is written
+for artifact upload and gated against
+``benchmarks/baselines/BENCH_baseline_perf.json`` by
+``python -m repro obs check``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments.closedloop import run_closed_loop
+from repro.experiments.harness import ExBoxScheme
+from repro.ml.metrics import precision_score, recall_score
+from repro.obs import Obs, write_bench_json
+from repro.testbed.wifi_testbed import WiFiTestbed
+
+#: ~1000 Poisson arrivals: 250 simulated minutes at 4 arrivals/minute.
+DURATION_MIN = 250
+ARRIVALS_PER_MIN = 4.0
+SEED = 17
+
+
+class _TraceScheme(ExBoxScheme):
+    """ExBox adapter that accounts online-update time and keeps the
+    decision/truth streams for precision/recall."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.decisions = []
+        self.truths = []
+        self.update_seconds = 0.0
+
+    def decide(self, event):
+        decision = super().decide(event)
+        self.decisions.append(int(decision))
+        return decision
+
+    def observe(self, event, truth):
+        self.truths.append(int(truth))
+        start = time.perf_counter()
+        super().observe(event, truth)
+        self.update_seconds += time.perf_counter() - start
+
+
+def _run(amortized, obs):
+    scheme = _TraceScheme(
+        batch_size=20, warm_start=amortized, use_gram_cache=amortized
+    )
+    # Instrument the classifier directly (not the loop): the per-arrival
+    # closed-loop recording re-queries margins, which would distort the
+    # timing we are comparing.
+    scheme.classifier.instrument(obs)
+    run_closed_loop(
+        scheme,
+        WiFiTestbed(),
+        seed=SEED,
+        duration_min=DURATION_MIN,
+        arrivals_per_min=ARRIVALS_PER_MIN,
+    )
+    return scheme
+
+
+def test_retrain_amortization(benchmark, show):
+    export = os.environ.get("REPRO_OBS_EXPORT", "").strip()
+    obs_warm = Obs.recording()
+
+    def _both():
+        warm = _run(amortized=True, obs=obs_warm)
+        cold = _run(amortized=False, obs=Obs.recording())
+        return warm, cold
+
+    warm, cold = benchmark.pedantic(_both, rounds=1, iterations=1)
+
+    n = len(warm.decisions)
+    assert n > 900  # the workload really is ~1000 arrivals
+    assert len(cold.decisions) == n
+
+    # Amortization must pay. The floor is deliberately loose — shared CI
+    # machines are noisy and the warm-vs-cold delta *within* the current
+    # code understates the win (the cold path shares the second-order
+    # solver). The headline >= 2x is measured against the pre-amortization
+    # tree (see docs/performance.md); regressions are gated by
+    # `python -m repro obs check` on the retrain-latency histogram.
+    speedup = cold.update_seconds / warm.update_seconds
+    assert speedup > 1.05
+
+    # The Gram cache alone is bit-identical; warm starts are tolerance-
+    # equivalent. Decisions may differ only in a vanishing fraction.
+    agreement = float(np.mean(np.array(warm.decisions) == np.array(cold.decisions)))
+    assert agreement >= 0.99
+
+    reg = obs_warm.registry
+    assert reg.counter("gram.cache.hits").value > 0
+    amort = reg.histogram("retrain.amortization")
+    assert amort.count == warm.classifier.n_retrains
+    assert amort.sum / amort.count > 0.5  # most of the matrix is reused
+
+    precision = precision_score(warm.truths, warm.decisions)
+    recall = recall_score(warm.truths, warm.decisions)
+    reg.gauge("retrain_perf.precision").set(precision)
+    reg.gauge("retrain_perf.recall").set(recall)
+    reg.gauge("retrain_perf.speedup").set(speedup)
+
+    show(
+        f"retrain wall-clock: amortized {warm.update_seconds:.2f}s, "
+        f"cold {cold.update_seconds:.2f}s ({speedup:.1f}x); "
+        f"agreement {agreement:.4f}; precision {precision:.3f}, "
+        f"recall {recall:.3f}; retrains {warm.classifier.n_retrains}"
+    )
+
+    if export:
+        write_bench_json(
+            export,
+            reg,
+            meta={
+                "suite": "retrain_perf",
+                "source": "benchmarks/test_retrain_perf.py",
+                "n_arrivals": n,
+                "retrain_seconds_amortized": warm.update_seconds,
+                "retrain_seconds_cold": cold.update_seconds,
+                "speedup": speedup,
+                "decision_agreement": agreement,
+            },
+        )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence, TextIO
 
 from repro.experiments import figures as F
 
@@ -90,13 +90,13 @@ _COMMANDS: Dict[str, tuple] = {
 }
 
 
-def _report(scale: str):
+def _report(scale: str) -> Any:
     from repro.experiments.report import generate_report
 
     return generate_report(scale=scale)
 
 
-def _run_one(name: str, quick: bool, out=sys.stdout) -> None:
+def _run_one(name: str, quick: bool, out: TextIO = sys.stdout) -> None:
     description, full, fast = _COMMANDS[name]
     runner: Callable = fast if quick else full
     start = time.perf_counter()
@@ -126,7 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None, out=sys.stdout) -> int:
+def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["obs"]:
         # `repro obs` has its own options; delegate before the figure parser.

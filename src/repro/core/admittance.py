@@ -44,6 +44,18 @@ class Phase(enum.Enum):
     ONLINE = "online"
 
 
+class _SVCFactory:
+    """Default model factory. A module-level class (not a lambda) so the
+    factory pickles, which is what lets cross-validation farm folds out
+    to a process pool."""
+
+    def __init__(self, random_state: int) -> None:
+        self.random_state = random_state
+
+    def __call__(self) -> SVC:
+        return SVC(C=10.0, kernel="rbf", random_state=self.random_state)
+
+
 class AdmittanceClassifier:
     """Online SVM admission controller over encoded flow arrivals.
 
@@ -73,6 +85,19 @@ class AdmittanceClassifier:
         values trade recall for precision (a conservative operator),
         negative values the reverse. The raw margin stays available via
         :meth:`margin` for network selection.
+    warm_start:
+        Seed each online retrain's SMO solve with the previous
+        solution's dual variables (see ``docs/performance.md``). On by
+        default: across the seeded workloads warm and cold starts agree
+        on every admission decision, with margins differing only within
+        the solver's ``tol``-equivalence bound.
+    use_gram_cache:
+        Carry the training Gram matrix across retrains (bit-exact, so
+        decisions are identical either way; purely a speed flag).
+    cv_jobs:
+        Fold parallelism for the bootstrap cross-validation (``None`` =
+        auto, ``1`` = serial; see
+        :func:`repro.ml.validation.cross_val_accuracy`).
     obs:
         Observability handle (:class:`repro.obs.Obs`). The inert default
         records nothing and changes nothing; a recording handle times
@@ -93,6 +118,9 @@ class AdmittanceClassifier:
         random_state: int = 7,
         max_buffer: Optional[int] = None,
         guard_margin: float = 0.0,
+        warm_start: bool = True,
+        use_gram_cache: bool = True,
+        cv_jobs: Optional[int] = None,
         obs: Optional[Obs] = None,
     ) -> None:
         if not 0.0 < cv_threshold <= 1.0:
@@ -105,17 +133,19 @@ class AdmittanceClassifier:
         self.max_bootstrap_samples = max_bootstrap_samples
         self.cv_check_every = int(cv_check_every)
         self.random_state = random_state
-        self._factory = model_factory or (
-            lambda: SVC(C=10.0, kernel="rbf", random_state=random_state)
-        )
+        self.cv_jobs = cv_jobs
+        self._factory = model_factory or _SVCFactory(random_state)
+        self.obs = obs if obs is not None else NULL_OBS
         self._learner = BatchOnlineSVM(
             batch_size=batch_size,
             model_factory=self._factory,
             replace_repeated=replace_repeated,
             max_buffer=max_buffer,
+            warm_start=warm_start,
+            use_gram_cache=use_gram_cache,
+            obs=self.obs,
         )
         self.guard_margin = float(guard_margin)
-        self.obs = obs if obs is not None else NULL_OBS
         self._phase = Phase.BOOTSTRAP
         self._since_cv_check = 0
         self.last_cv_accuracy: Optional[float] = None
@@ -125,6 +155,7 @@ class AdmittanceClassifier:
         """Adopt ``obs`` unless a recording handle is already wired."""
         if not self.obs.enabled:
             self.obs = obs
+        self._learner.instrument(obs)
 
     # ------------------------------------------------------------------
     # State
@@ -161,6 +192,7 @@ class AdmittanceClassifier:
             y,
             n_splits=self.cv_folds,
             random_state=self.random_state,
+            n_jobs=self.cv_jobs,
         )
 
     def observe_bootstrap(self, x: np.ndarray, y: int) -> bool:
@@ -256,6 +288,38 @@ class AdmittanceClassifier:
             value
         )
         return value
+
+    def classify_batch(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify` over rows of ``X``.
+
+        One kernel evaluation against the support vectors covers the
+        whole batch, so harnesses replaying recorded arrivals against a
+        *fixed* model (between retrains, decisions depend on nothing but
+        the model) avoid the per-sample dispatch overhead.
+        """
+        if self._phase is not Phase.ONLINE:
+            raise RuntimeError("classifier is still bootstrapping")
+        margins = self._learner.decision_function(X)
+        # Config sentinel set in __init__, never produced by arithmetic.
+        if self.guard_margin == 0.0:  # repro: noqa[NUM001]
+            return np.where(margins >= 0, 1, -1)
+        return np.where(margins >= self.guard_margin, 1, -1)
+
+    def margin_batch(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`margin` over rows of ``X``."""
+        if self._phase is not Phase.ONLINE:
+            raise RuntimeError("classifier is still bootstrapping")
+        margins = self._learner.decision_function(X)
+        hist = self.obs.histogram("admittance.margin", buckets=MARGIN_BUCKETS)
+        for value in margins:
+            hist.observe(float(value))
+        return np.asarray(margins)
+
+    @property
+    def samples_until_retrain(self) -> int:
+        """Observations left before the next batch-boundary retrain
+        (harnesses use this to size batched-decision chunks)."""
+        return self._learner.samples_until_retrain
 
     def observe_online(self, x: np.ndarray, y: int) -> bool:
         """Record the observed outcome of an arrival; retrains at batch

@@ -17,7 +17,7 @@ across batch sizes.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.traffic.arrival import FlowEvent
 from repro.traffic.flows import APP_CLASSES, CONFERENCING, STREAMING, WEB
@@ -50,6 +50,22 @@ class AdmissionScheme(abc.ABC):
     @abc.abstractmethod
     def decide(self, event: FlowEvent) -> int:
         """+1 admit / -1 reject for a flow-arrival event."""
+
+    def decide_batch(self, events: Sequence[FlowEvent]) -> List[int]:
+        """Decide a run of arrivals with no intervening feedback.
+
+        The default is the per-event loop; learning schemes override it
+        with a vectorized path. Callers must keep a batch inside the
+        scheme's :meth:`decision_horizon` so batching cannot straddle a
+        model update.
+        """
+        return [self.decide(event) for event in events]
+
+    def decision_horizon(self) -> Optional[int]:
+        """How many upcoming decisions are unaffected by interleaved
+        :meth:`observe` feedback (``None`` = unlimited, the right answer
+        for schemes with no online learning)."""
+        return None
 
     def observe(self, event: FlowEvent, truth: int) -> None:
         """Ground-truth feedback; baselines ignore it (no online phase)."""

@@ -60,6 +60,10 @@ def _classifier_state(classifier: AdmittanceClassifier) -> dict:
         "last_cv_accuracy": classifier.last_cv_accuracy,
         "X": X.tolist(),
         "y": y.tolist(),
+        # Effective-kernel epoch (frozen scaler + resolved bandwidth):
+        # restoring it keeps post-reload decisions identical even when
+        # the snapshot was taken mid-epoch (None before first retrain).
+        "kernel_state": classifier._learner.kernel_state(),
     }
 
 
@@ -125,6 +129,9 @@ def loads_exbox(text: str) -> ExBox:
     )
     for x, y in zip(clf_state["X"], clf_state["y"]):
         classifier._learner.add_sample(x, int(y))
+    kernel_state = clf_state.get("kernel_state")
+    if kernel_state is not None:
+        classifier._learner.restore_kernel_state(kernel_state)
     classifier._since_cv_check = 0
     classifier.last_cv_accuracy = clf_state["last_cv_accuracy"]
     if clf_state["phase"] == Phase.ONLINE.value:

@@ -19,7 +19,7 @@ numbers are directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -197,9 +197,9 @@ def run_closed_loop(
 
 def compare_closed_loop(
     schemes: Sequence[AdmissionScheme],
-    testbed_factory,
+    testbed_factory: Callable[[], Any],
     seed: int = 0,
-    **kwargs,
+    **kwargs: Any,
 ) -> Dict[str, ClosedLoopResult]:
     """Run several schemes against identical arrivals on fresh testbeds."""
     return {

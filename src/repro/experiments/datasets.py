@@ -16,7 +16,7 @@ feeds to the Admittance Classifier and the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -122,7 +122,7 @@ def build_testbed_dataset(
 
 
 def build_simulation_dataset(
-    cell,
+    cell: Any,
     matrices: Sequence[Sequence[int]],
     rng: np.random.Generator,
     estimator: QoEEstimator,

@@ -44,6 +44,7 @@ from repro.obs.facade import Obs
 from repro.qoe.iqx import IQXModel
 from repro.qoe.mos import normalized_from_metric
 from repro.qoe.thresholds import threshold_for_class
+from repro.testbed.base import EmulatedTestbed
 from repro.testbed.devices import TrainingDevice
 from repro.testbed.lte_testbed import LTETestbed
 from repro.testbed.wifi_testbed import WiFiTestbed
@@ -284,7 +285,7 @@ def _testbed_matrices(
     raise ValueError(f"unknown traffic scheme {scheme!r}")
 
 
-def _make_testbed(network: str):
+def _make_testbed(network: str) -> EmulatedTestbed:
     if network == "wifi":
         return WiFiTestbed()
     if network == "lte":

@@ -176,7 +176,11 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
 
 
 # Top-level so ProcessPoolExecutor can pickle it.
-def _lint_file_worker(args) -> List[Finding]:
+def _lint_file_worker(
+    args: Tuple[
+        Path, RepoContext, Optional[Tuple[str, ...]], Optional[Tuple[str, ...]]
+    ],
+) -> List[Finding]:
     path, context, select, ignore = args
     return lint_file(Path(path), context=context, select=select, ignore=ignore)
 

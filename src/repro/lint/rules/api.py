@@ -10,10 +10,13 @@ looks pure.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Union
 
 from repro.lint.findings import Finding
 from repro.lint.rules.base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
 
 __all__ = ["DunderAllConsistency", "MutableDefaultArgument"]
 
@@ -48,7 +51,7 @@ class DunderAllConsistency(Rule):
         "breaks `from module import *` and documentation tooling."
     )
 
-    def should_check(self, module) -> bool:
+    def should_check(self, module: "ModuleInfo") -> bool:
         if not module.in_package:
             return False  # scripts (examples/) have no import surface
         name = module.filename
@@ -56,7 +59,7 @@ class DunderAllConsistency(Rule):
             return False
         return True
 
-    def finish_module(self, module) -> Iterator[Finding]:
+    def finish_module(self, module: "ModuleInfo") -> Iterator[Finding]:
         tree = module.tree
         dunder_all: Optional[ast.Assign] = None
         listed: Optional[List[str]] = None
@@ -159,16 +162,24 @@ class MutableDefaultArgument(Rule):
         "Default to None and construct inside the function."
     )
 
-    def visit_FunctionDef(self, node: ast.FunctionDef, module) -> Iterator[Finding]:
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         return self._check(node, module)
 
-    def visit_AsyncFunctionDef(self, node, module) -> Iterator[Finding]:
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         return self._check(node, module)
 
-    def visit_Lambda(self, node: ast.Lambda, module) -> Iterator[Finding]:
+    def visit_Lambda(self, node: ast.Lambda, module: "ModuleInfo") -> Iterator[Finding]:
         return self._check(node, module)
 
-    def _check(self, node, module) -> Iterator[Finding]:
+    def _check(
+        self,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda],
+        module: "ModuleInfo",
+    ) -> Iterator[Finding]:
         defaults = [*node.args.defaults, *node.args.kw_defaults]
         for default in defaults:
             if default is not None and self._is_mutable(default):

@@ -10,11 +10,14 @@ that make ExCR learning and IQX fits bit-repeatable under a seed.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
 from repro.lint.context import RNG_MODULE_SUFFIX
 from repro.lint.findings import Finding
 from repro.lint.rules.base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
 
 __all__ = ["UnseededRandomness", "SetIteration", "dotted_name"]
 
@@ -47,11 +50,11 @@ class UnseededRandomness(Rule):
         "explicit seed."
     )
 
-    def should_check(self, module) -> bool:
+    def should_check(self, module: "ModuleInfo") -> bool:
         # The seeded-stream registry is the one sanctioned constructor site.
         return module.path_parts()[-3:] != RNG_MODULE_SUFFIX
 
-    def begin_module(self, module) -> None:
+    def begin_module(self, module: "ModuleInfo") -> None:
         # Aliases for the stdlib random module, numpy, numpy.random, and
         # names from-imported out of them.
         self._random_mods: Set[str] = set()
@@ -84,10 +87,10 @@ class UnseededRandomness(Rule):
                         if alias.name == "random":
                             self._np_random_mods.add(alias.asname or "random")
 
-    def visit_Call(self, node: ast.Call, module) -> Iterator[Finding]:
+    def visit_Call(self, node: ast.Call, module: "ModuleInfo") -> Iterator[Finding]:
         name = dotted_name(node.func)
         if name is None:
-            return
+            return iter(())
         findings: List[Finding] = []
         head, _, rest = name.partition(".")
 
@@ -189,16 +192,22 @@ class SetIteration(Rule):
         "repeatable. Wrap the set in `sorted(...)`."
     )
 
-    def visit_For(self, node: ast.For, module) -> Iterator[Finding]:
+    def visit_For(self, node: ast.For, module: "ModuleInfo") -> Iterator[Finding]:
         return self._check_iterable(node.iter, module)
 
-    def visit_AsyncFor(self, node: ast.AsyncFor, module) -> Iterator[Finding]:
+    def visit_AsyncFor(
+        self, node: ast.AsyncFor, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         return self._check_iterable(node.iter, module)
 
-    def visit_comprehension(self, node: ast.comprehension, module) -> Iterator[Finding]:
+    def visit_comprehension(
+        self, node: ast.comprehension, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         return self._check_iterable(node.iter, module)
 
-    def _check_iterable(self, expr: ast.expr, module) -> Iterator[Finding]:
+    def _check_iterable(
+        self, expr: ast.expr, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         culprit = self._unordered_set_expr(expr)
         if culprit is not None:
             yield self.finding(

@@ -11,11 +11,14 @@ in repos that have no mapping at all.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.lint.context import extract_refs
 from repro.lint.findings import Finding
 from repro.lint.rules.base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
 
 __all__ = ["UnmappedPaperReference"]
 
@@ -34,10 +37,10 @@ class UnmappedPaperReference(Rule):
         "or correct the reference."
     )
 
-    def should_check(self, module) -> bool:
-        return module.context.has_mapping
+    def should_check(self, module: "ModuleInfo") -> bool:
+        return bool(module.context.has_mapping)
 
-    def finish_module(self, module) -> Iterator[Finding]:
+    def finish_module(self, module: "ModuleInfo") -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, _DOCSTRING_OWNERS):
                 continue

@@ -9,10 +9,13 @@ drift into silently wrong experiment tables instead of loud failures.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.lint.findings import Finding
 from repro.lint.rules.base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
 
 __all__ = ["FloatEquality", "SwallowedNumericError"]
 
@@ -59,7 +62,9 @@ class FloatEquality(Rule):
         "constant never produced by arithmetic) may be suppressed."
     )
 
-    def visit_Compare(self, node: ast.Compare, module) -> Iterator[Finding]:
+    def visit_Compare(
+        self, node: ast.Compare, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         operands = [node.left, *node.comparators]
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if not isinstance(op, (ast.Eq, ast.NotEq)):
@@ -89,11 +94,13 @@ class SwallowedNumericError(Rule):
         "specific exception you expect, or re-raise."
     )
 
-    def should_check(self, module) -> bool:
+    def should_check(self, module: "ModuleInfo") -> bool:
         parts = set(module.path_parts())
         return "repro" in parts and bool(parts & _KERNEL_DIRS)
 
-    def visit_ExceptHandler(self, node: ast.ExceptHandler, module) -> Iterator[Finding]:
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, module: "ModuleInfo"
+    ) -> Iterator[Finding]:
         if not self._is_blanket(node.type):
             return
         # A handler that re-raises (bare `raise` or raise-from) is a
@@ -109,7 +116,7 @@ class SwallowedNumericError(Rule):
         )
 
     @staticmethod
-    def _is_blanket(type_node) -> bool:
+    def _is_blanket(type_node: Optional[ast.expr]) -> bool:
         if type_node is None:
             return True
         if isinstance(type_node, ast.Name):

@@ -19,10 +19,13 @@ invisible to them and prone to silent drift.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Iterator, Optional, Tuple
 
 from repro.lint.findings import Finding
 from repro.lint.rules.base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.engine import ModuleInfo
 
 __all__ = ["BarePrintInLibrary", "UncataloguedObsName"]
 
@@ -31,7 +34,7 @@ _EXEMPT_FILES = ("cli.py", "textplot.py")
 _LIBRARY_PREFIX: Tuple[str, ...] = ("src", "repro")
 
 
-def _library_relparts(module) -> Optional[Tuple[str, ...]]:
+def _library_relparts(module: "ModuleInfo") -> Optional[Tuple[str, ...]]:
     """Path components below ``src/repro/``, or None outside the library.
 
     The engine may be invoked from the repo root or from ``src/``, so the
@@ -62,7 +65,7 @@ class BarePrintInLibrary(Rule):
         "are the sanctioned stdout writers."
     )
 
-    def should_check(self, module) -> bool:
+    def should_check(self, module: "ModuleInfo") -> bool:
         rel = _library_relparts(module)
         if rel is None:
             return False
@@ -70,7 +73,7 @@ class BarePrintInLibrary(Rule):
             return False
         return module.filename not in _EXEMPT_FILES
 
-    def visit_Call(self, node: ast.Call, module) -> Iterator[Finding]:
+    def visit_Call(self, node: ast.Call, module: "ModuleInfo") -> Iterator[Finding]:
         func = node.func
         if isinstance(func, ast.Name) and func.id == "print":
             yield self.finding(
@@ -98,14 +101,14 @@ class UncataloguedObsName(Rule):
         "the literal)."
     )
 
-    def should_check(self, module) -> bool:
+    def should_check(self, module: "ModuleInfo") -> bool:
         # Repo-aware like DOC001: silent when the catalogue is absent.
-        return (
+        return bool(
             module.context.has_obs_catalogue
             and _library_relparts(module) is not None
         )
 
-    def visit_Call(self, node: ast.Call, module) -> Iterator[Finding]:
+    def visit_Call(self, node: ast.Call, module: "ModuleInfo") -> Iterator[Finding]:
         func = node.func
         if not isinstance(func, ast.Attribute):
             return

@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.lint.findings import Finding
 
@@ -47,7 +47,7 @@ class SuppressionIndex:
         return finding.suppress() if self.is_suppressed(finding) else finding
 
 
-def _iter_markers(source: str):
+def _iter_markers(source: str) -> Iterator[Tuple[int, FrozenSet[str]]]:
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for tok in tokens:

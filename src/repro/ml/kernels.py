@@ -4,6 +4,19 @@ A kernel is a callable ``k(X, Z) -> numpy.ndarray`` returning the Gram
 matrix between the rows of ``X`` (shape ``(n, d)``) and ``Z`` (shape
 ``(m, d)``). Kernels are plain objects so they can be compared, repr'd in
 experiment logs and resolved from string names in configuration.
+
+Entry-exactness contract
+------------------------
+Every kernel here computes each Gram entry from its own row pair alone,
+accumulating over feature dimensions in a fixed order, instead of one
+large BLAS ``X @ Z.T``. BLAS chooses different blocking (and therefore
+different floating-point summation orders) for different matrix shapes,
+so a Gram matrix assembled from sub-blocks would differ in the last ulp
+from a single full call. With per-dimension accumulation,
+``k(X, Z)[i, j]`` is a pure function of ``(X[i], Z[j])`` — bit-identical
+whether computed alone, inside a block, or as part of the full matrix.
+:class:`repro.ml.gram.GramCache` relies on this to append rows and slice
+evictions without ever diverging from a from-scratch computation.
 """
 
 from __future__ import annotations
@@ -17,11 +30,47 @@ __all__ = [
     "LinearKernel",
     "PolynomialKernel",
     "RBFKernel",
+    "freeze_kernel",
+    "pairwise_dot",
+    "pairwise_sq_dists",
     "resolve_kernel",
 ]
 
 #: What the SVM actually needs: any Gram-matrix callable.
 Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def pairwise_dot(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+    """``X @ Z.T`` with shape-independent per-entry rounding.
+
+    Accumulates one feature dimension at a time, so entry ``(i, j)`` is
+    the same floating-point number regardless of how many rows either
+    matrix has (see the module docstring). O(n·m·d) like BLAS, with a
+    constant-factor penalty that is irrelevant next to the SMO solve.
+    """
+    n, d = X.shape
+    m = Z.shape[0]
+    acc = np.zeros((n, m))
+    for j in range(d):
+        acc += X[:, j][:, None] * Z[:, j][None, :]
+    return acc
+
+
+def pairwise_sq_dists(X: np.ndarray, Z: np.ndarray) -> np.ndarray:
+    """``||x_i - z_j||^2`` with shape-independent per-entry rounding.
+
+    Summing squared per-dimension differences keeps every entry exactly
+    non-negative by construction (no catastrophic cancellation, so no
+    clamping) and bit-identical across block assembly.
+    """
+    n, d = X.shape
+    m = Z.shape[0]
+    acc = np.zeros((n, m))
+    for j in range(d):
+        diff = X[:, j][:, None] - Z[:, j][None, :]
+        np.multiply(diff, diff, out=diff)
+        acc += diff
+    return acc
 
 
 class LinearKernel:
@@ -32,7 +81,7 @@ class LinearKernel:
     def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Z = np.atleast_2d(np.asarray(Z, dtype=float))
-        return X @ Z.T
+        return pairwise_dot(X, Z)
 
     def __repr__(self) -> str:
         return "LinearKernel()"
@@ -49,7 +98,9 @@ class RBFKernel:
 
     ``gamma`` may be a positive float or the string ``"scale"``, in which
     case it is resolved per Gram-matrix call as ``1 / (d * var(X))``
-    (matching the common libsvm/sklearn convention).
+    (matching the common libsvm/sklearn convention). Fitted models freeze
+    the resolved value via :func:`freeze_kernel`, so train and inference
+    Grams always agree on the bandwidth.
     """
 
     name = "rbf"
@@ -70,18 +121,19 @@ class RBFKernel:
             return 1.0 / (X.shape[1] * var)
         return float(self.gamma)
 
+    def frozen(self, X: np.ndarray) -> "RBFKernel":
+        """A copy with ``gamma`` resolved against ``X`` to a concrete
+        float (idempotent for explicit-gamma kernels)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return RBFKernel(gamma=self._resolve_gamma(X))
+
     def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Z = np.atleast_2d(np.asarray(Z, dtype=float))
         gamma = self._resolve_gamma(X)
-        # ||x - z||^2 = ||x||^2 + ||z||^2 - 2 x.z, computed without loops.
-        sq = (
-            np.sum(X * X, axis=1)[:, None]
-            + np.sum(Z * Z, axis=1)[None, :]
-            - 2.0 * (X @ Z.T)
-        )
-        np.maximum(sq, 0.0, out=sq)
-        return np.exp(-gamma * sq)
+        sq = pairwise_sq_dists(X, Z)
+        np.multiply(sq, -gamma, out=sq)
+        return np.exp(sq, out=sq)
 
     def __repr__(self) -> str:
         return f"RBFKernel(gamma={self.gamma!r})"
@@ -107,7 +159,7 @@ class PolynomialKernel:
     def __call__(self, X: np.ndarray, Z: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Z = np.atleast_2d(np.asarray(Z, dtype=float))
-        return (X @ Z.T + self.coef0) ** self.degree
+        return (pairwise_dot(X, Z) + self.coef0) ** self.degree
 
     def __repr__(self) -> str:
         return f"PolynomialKernel(degree={self.degree}, coef0={self.coef0})"
@@ -121,6 +173,20 @@ class PolynomialKernel:
 
     def __hash__(self) -> int:
         return hash((self.name, self.degree, self.coef0))
+
+
+def freeze_kernel(kernel: Kernel, X: np.ndarray) -> Kernel:
+    """Resolve any data-dependent kernel parameters against ``X``.
+
+    For an :class:`RBFKernel` with ``gamma="scale"`` this returns a copy
+    with the concrete bandwidth ``1 / (d * var(X))``; every other kernel
+    is already data-independent and is returned as-is. Fitting code calls
+    this once per fit so training, caching, and inference all share one
+    effective kernel (the `gamma="scale"` train/inference mismatch fix).
+    """
+    if isinstance(kernel, RBFKernel) and isinstance(kernel.gamma, str):
+        return kernel.frozen(X)
+    return kernel
 
 
 _KERNELS: Dict[str, Callable[..., Kernel]] = {

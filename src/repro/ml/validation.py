@@ -2,11 +2,19 @@
 
 ExBox's bootstrap phase (Section 3.1) exits once n-fold cross-validation
 accuracy on the collected training set crosses a threshold; this module
-provides that machinery.
+provides that machinery. Folds are independent fits, so
+:func:`cross_val_accuracy` can farm them out to a process pool (the same
+``concurrent.futures`` pattern as the file-parallel ``repro.lint``
+engine); scores are reduced in fold order, so the result is identical to
+the serial loop regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -14,6 +22,10 @@ import numpy as np
 from repro.ml.arrays import ArrayLike
 
 __all__ = ["KFold", "cross_val_accuracy", "train_test_split"]
+
+#: Below this many samples a fold fit is so cheap that process spawn
+#: overhead dominates; the auto heuristic stays serial.
+_PARALLEL_MIN_SAMPLES = 150
 
 
 class KFold:
@@ -52,12 +64,23 @@ class KFold:
             start = stop
 
 
+# Top-level so ProcessPoolExecutor can pickle it.
+def _cv_fold_worker(
+    args: Tuple[Callable[[], Any], np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> float:
+    model_factory, X, y, train_idx, test_idx = args
+    model = model_factory()
+    model.fit(X[train_idx], y[train_idx])
+    return float(model.score(X[test_idx], y[test_idx]))
+
+
 def cross_val_accuracy(
     model_factory: Callable[[], Any],
     X: ArrayLike,
     y: ArrayLike,
     n_splits: int = 5,
     random_state: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> float:
     """Mean held-out accuracy over ``n_splits`` folds.
 
@@ -66,18 +89,48 @@ def cross_val_accuracy(
     training part contains a single class are still evaluated (the SVC
     degenerates to a constant predictor), mirroring what ExBox encounters
     early in bootstrap.
+
+    ``n_jobs`` controls fold parallelism: ``1`` forces the serial loop,
+    ``>= 2`` uses that many pool workers, and ``None`` (the default)
+    parallelizes only once the training set is large enough for fold
+    fits to dominate process overhead. Scores are reduced in fold order,
+    so the result is bit-identical to the serial loop; an unpicklable
+    factory (e.g. a lambda) silently falls back to serial.
     """
     X = np.atleast_2d(np.asarray(X, dtype=float))
     y = np.asarray(y, dtype=float).ravel()
     if X.shape[0] != y.shape[0]:
         raise ValueError("X and y have mismatched lengths")
     kf = KFold(n_splits=n_splits, shuffle=True, random_state=random_state)
-    scores: List[float] = []
-    for train_idx, test_idx in kf.split(X.shape[0]):
-        model = model_factory()
-        model.fit(X[train_idx], y[train_idx])
-        scores.append(float(model.score(X[test_idx], y[test_idx])))
+    folds = list(kf.split(X.shape[0]))
+    scores = _fold_scores(model_factory, X, y, folds, n_jobs)
     return float(np.mean(scores))
+
+
+def _fold_scores(
+    model_factory: Callable[[], Any],
+    X: np.ndarray,
+    y: np.ndarray,
+    folds: List[Tuple[np.ndarray, np.ndarray]],
+    n_jobs: Optional[int],
+) -> List[float]:
+    """Per-fold held-out accuracies, in fold order."""
+    if n_jobs is None:
+        jobs = min(len(folds), os.cpu_count() or 1, 8)
+        if X.shape[0] < _PARALLEL_MIN_SAMPLES:
+            jobs = 1
+    else:
+        jobs = max(1, min(int(n_jobs), len(folds)))
+    if jobs > 1:
+        work = [(model_factory, X, y, tr, te) for tr, te in folds]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # pool.map preserves input order: deterministic reduction.
+                return list(pool.map(_cv_fold_worker, work))
+        except (pickle.PicklingError, AttributeError, TypeError,
+                BrokenProcessPool, OSError):
+            pass  # unpicklable factory or pool failure: fall through
+    return [_cv_fold_worker((model_factory, X, y, tr, te)) for tr, te in folds]
 
 
 def train_test_split(

@@ -39,7 +39,7 @@ def normalized_from_metric(
         if not (min(best, worst) <= thr <= max(best, worst)):
             raise ValueError("threshold must lie between worst and best")
 
-    def _lerp(x, x0, x1, y0, y1):
+    def _lerp(x: float, x0: float, x1: float, y0: float, y1: float) -> float:
         if x1 == x0:
             return y1
         t = (x - x0) / (x1 - x0)

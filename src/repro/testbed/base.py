@@ -77,7 +77,9 @@ class EmulatedTestbed(abc.ABC):
             loss_rate=qos.loss_rate,
         )
 
-    def _offered(self, flow_specs, start_id: int = 0) -> List[OfferedFlow]:
+    def _offered(
+        self, flow_specs: Sequence[Tuple[str, float]], start_id: int = 0
+    ) -> List[OfferedFlow]:
         return [
             OfferedFlow(
                 flow_id=start_id + i,

@@ -9,7 +9,7 @@ the run, and collects each app's ground-truth QoE log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -78,7 +78,7 @@ class MatrixRun:
 class ClientController:
     """Schedules apps on testbed devices and measures matrix runs."""
 
-    def __init__(self, testbed, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, testbed: Any, rng: Optional[np.random.Generator] = None) -> None:
         self.testbed = testbed
         self.rng = rng or np.random.default_rng(0)
 
@@ -86,7 +86,7 @@ class ClientController:
         self,
         matrix: Sequence[int],
         snr_db_per_flow: Optional[Sequence[float]] = None,
-    ):
+    ) -> List[Tuple[str, float]]:
         """Expand a (#web, #streaming, #conferencing) matrix to flow specs.
 
         Devices are chosen uniformly at random among the idle ones, as

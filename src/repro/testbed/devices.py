@@ -11,7 +11,9 @@ device records per-application ground-truth QoE, producing the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.apps.base import AppModel, app_model_for_class
 from repro.netem.shaping import Shaper
@@ -31,7 +33,7 @@ class MobileDevice:
 
     device_id: int
     snr_db: float = 53.0
-    active_app: str = None
+    active_app: Optional[str] = None
 
     @property
     def is_idle(self) -> bool:
@@ -74,7 +76,7 @@ class TrainingDevice:
         delays_s: Sequence[float],
         runs_per_point: int = 10,
         qos_noise: float = 0.05,
-        rng=None,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[Tuple[float, float]]:
         """The paper's Figure 12 procedure: run the app under each
         rate x latency profile and record (scalar QoS, ground-truth QoE).
@@ -93,7 +95,7 @@ class TrainingDevice:
                 shaped = shaper.apply_to_qos(self.baseline_qos)
                 for _ in range(runs_per_point):
                     qos = shaped
-                    if qos_noise > 0:
+                    if qos_noise > 0 and rng is not None:
                         factor = 1.0 + float(rng.normal(0.0, qos_noise))
                         factor = max(factor, 0.2)
                         qos = FlowQoS(
@@ -110,7 +112,7 @@ class TrainingDevice:
         rates_bps: Sequence[float],
         delays_s: Sequence[float],
         runs_per_point: int = 10,
-        rng=None,
+        rng: Optional[np.random.Generator] = None,
     ) -> Dict[str, List[Tuple[float, float]]]:
         """Sweep every application class; keyed by class name."""
         return {

@@ -18,6 +18,8 @@ shapes the capacity region), not byte-exact fidelity to the originals.
 
 from __future__ import annotations
 
+from typing import Any, List
+
 import numpy as np
 
 from repro.traffic.flows import CONFERENCING, STREAMING, WEB
@@ -33,9 +35,11 @@ __all__ = [
 _MTU = 1500
 
 
-def _packetize(rng, t: float, nbytes: int, flow_tag: int, spread_s: float):
+def _packetize(
+    rng: np.random.Generator, t: float, nbytes: int, flow_tag: int, spread_s: float
+) -> List[Packet]:
     """Split ``nbytes`` into MTU packets jittered across ``spread_s``."""
-    packets = []
+    packets: List[Packet] = []
     remaining = int(nbytes)
     while remaining > 0:
         size = min(_MTU, remaining)
@@ -171,7 +175,7 @@ _GENERATORS = {
 }
 
 
-def generator_for_class(app_class: str, **kwargs):
+def generator_for_class(app_class: str, **kwargs: Any) -> Any:
     """Instantiate the default generator for an application class."""
     try:
         factory = _GENERATORS[app_class]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.simulation.engine import Simulator
 from repro.wireless.phy import lte_cqi_for_snr, lte_efficiency_for_cqi
@@ -210,7 +210,8 @@ class LteCell:
         for config, demand_bps in offered:
             interval = config.packet_bits / demand_bps
 
-            def _arrivals(fid=config.flow_id, interval=interval):
+            def _arrivals(fid: int = config.flow_id,
+                          interval: float = interval) -> Iterator[float]:
                 while True:
                     self.enqueue(fid)
                     yield interval

@@ -10,7 +10,7 @@ matching flow queue and reports per-flow QoS afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple, Union
 
 from repro.simulation.engine import Simulator
 from repro.traffic.packets import PacketTrace
@@ -21,7 +21,9 @@ from repro.wireless.wifi import WifiCell, WifiFlowConfig
 __all__ = ["replay_traces_lte", "replay_traces_wifi"]
 
 
-def _schedule(sim: Simulator, cell, trace: PacketTrace, flow_id: int) -> None:
+def _schedule(
+    sim: Simulator, cell: Union[WifiCell, LteCell], trace: PacketTrace, flow_id: int
+) -> None:
     for packet in trace:
         sim.schedule(packet.timestamp, lambda fid=flow_id: cell.enqueue(fid))
 
@@ -29,7 +31,7 @@ def _schedule(sim: Simulator, cell, trace: PacketTrace, flow_id: int) -> None:
 def replay_traces_wifi(
     flows: Sequence[Tuple[WifiFlowConfig, PacketTrace]],
     duration_s: float,
-    **cell_kwargs,
+    **cell_kwargs: Any,
 ) -> Dict[int, FlowQoS]:
     """Replay one trace per flow through a fresh WiFi cell.
 
@@ -52,7 +54,7 @@ def replay_traces_wifi(
 def replay_traces_lte(
     flows: Sequence[Tuple[LteFlowConfig, PacketTrace]],
     duration_s: float,
-    **cell_kwargs,
+    **cell_kwargs: Any,
 ) -> Dict[int, FlowQoS]:
     """Replay one trace per bearer through a fresh LTE cell."""
     if duration_s <= 0:

@@ -18,7 +18,7 @@ or wire arrivals manually via :meth:`WifiCell.enqueue`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Optional, Sequence
 
 from collections import deque
 
@@ -151,8 +151,8 @@ class WifiCell:
             and self.rng.random() < _residual_loss(queue.config.snr_db)
         )
 
-        def _delivered(fid=fid, arrival=arrival, bits=bits,
-                       deliver_at=deliver_at, lost=lost):
+        def _delivered(fid: int = fid, arrival: float = arrival, bits: float = bits,
+                       deliver_at: float = deliver_at, lost: bool = lost) -> None:
             q = self._queues[fid]
             if lost:
                 q.acc.record_loss()
@@ -183,7 +183,8 @@ class WifiCell:
         for config, demand_bps in offered:
             interval = config.packet_bits / demand_bps
 
-            def _arrivals(fid=config.flow_id, interval=interval):
+            def _arrivals(fid: int = config.flow_id,
+                          interval: float = interval) -> Iterator[float]:
                 while True:
                     self.enqueue(fid)
                     yield interval

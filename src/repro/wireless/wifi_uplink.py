@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -156,7 +156,7 @@ class WifiUplinkCell:
         station.backoff_slots = -1
         self.successes += 1
 
-        def _delivered():
+        def _delivered() -> None:
             station.acc.record(bits, (self.sim.now - arrival) + self.base_delay_s)
             self._contend()
 
@@ -194,7 +194,8 @@ class WifiUplinkCell:
         for config, demand_bps in offered:
             interval = config.packet_bits / demand_bps
 
-            def _arrivals(sid=config.station_id, interval=interval):
+            def _arrivals(sid: int = config.station_id,
+                          interval: float = interval) -> Iterator[float]:
                 while True:
                     self.enqueue(sid)
                     yield interval

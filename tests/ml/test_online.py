@@ -111,3 +111,96 @@ class TestRetraining:
         assert not learner.is_trained
         _feed_linear(learner, 6, seed=5)
         assert learner.is_trained
+
+
+class TestWarmStartMemory:
+    def _feed(self, learner, n, seed, d=3):
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            x = rng.uniform(-2, 2, size=d)
+            learner.observe(x, 1.0 if (x**2).sum() < 4.0 else -1.0)
+
+    def test_alpha_by_key_bounded_by_buffer(self):
+        # Regression: evicted keys used to stay in the warm-start dict
+        # forever, so memory grew with the total stream length instead
+        # of the buffer cap.
+        learner = BatchOnlineSVM(batch_size=10, warm_start=True, max_buffer=50)
+        self._feed(learner, 400, seed=20)
+        assert len(learner) <= 50
+        assert len(learner._alpha_by_key) <= 50
+
+    def test_alpha_keys_subset_of_buffer(self):
+        learner = BatchOnlineSVM(batch_size=10, warm_start=True, max_buffer=40)
+        self._feed(learner, 250, seed=21)
+        assert set(learner._alpha_by_key) <= set(learner._keys)
+
+    def test_no_warm_start_keeps_dict_empty(self):
+        learner = BatchOnlineSVM(batch_size=10, warm_start=False, max_buffer=40)
+        self._feed(learner, 120, seed=22)
+        assert learner._alpha_by_key == {}
+
+
+class TestAmortizedKernelRefresh:
+    def _feed(self, learner, n, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(n):
+            x = rng.uniform(-2, 2, size=3)
+            learner.observe(x, 1.0 if (x**2).sum() < 4.0 else -1.0)
+
+    def test_scaler_frozen_between_refreshes(self):
+        learner = BatchOnlineSVM(batch_size=10)
+        self._feed(learner, 20, seed=23)
+        scaler_after_first = learner._scaler
+        self._feed(learner, 10, seed=24)  # second retrain, same epoch
+        assert learner._scaler is scaler_after_first
+        self._feed(learner, 30, seed=25)  # past the refresh interval
+        assert learner._scaler is not scaler_after_first
+
+    def test_refresh_schedule_independent_of_cache_flag(self):
+        runs = {}
+        for flag in (False, True):
+            learner = BatchOnlineSVM(batch_size=10, use_gram_cache=flag)
+            self._feed(learner, 150, seed=26)
+            runs[flag] = (
+                learner._samples_at_refresh,
+                learner._rows_at_refresh,
+                learner._scaler.mean_.tolist(),
+            )
+        assert runs[False] == runs[True]
+
+    def test_samples_until_retrain_counts_down(self):
+        learner = BatchOnlineSVM(batch_size=5)
+        assert learner.samples_until_retrain == 5
+        rng = np.random.default_rng(27)
+        for expected in (4, 3, 2, 1):
+            learner.add_sample(rng.uniform(-2, 2, size=3), 1.0)
+            assert learner.samples_until_retrain == expected
+
+    def test_kernel_state_roundtrip_preserves_decisions(self):
+        # A learner restored mid-epoch must retrain with the *same*
+        # frozen scaler and bandwidth, so post-reload margins match.
+        # 50 samples at batch_size=10: the last retrain sits exactly on a
+        # batch boundary (model == buffer) but mid-epoch — the scaler was
+        # frozen at sample 40, so a clone that refit it would diverge.
+        learner = BatchOnlineSVM(batch_size=10)
+        self._feed(learner, 50, seed=28)
+        assert learner._samples_at_refresh < learner._n_observed
+        state = learner.kernel_state()
+        assert state is not None
+
+        clone = BatchOnlineSVM(batch_size=10)
+        X, y = learner.training_set()
+        for x, label in zip(X, y):
+            clone.add_sample(x, label)
+        clone.restore_kernel_state(state)
+        clone.retrain()
+
+        probe = np.random.default_rng(29).uniform(-2, 2, size=(40, 3))
+        assert np.array_equal(
+            learner.decision_function(probe), clone.decision_function(probe)
+        )
+
+    def test_kernel_state_none_before_first_retrain(self):
+        learner = BatchOnlineSVM(batch_size=100)
+        learner.add_sample(np.zeros(3), 1.0)
+        assert learner.kernel_state() is None

@@ -166,3 +166,89 @@ class TestRandomStateValidation:
     def test_rejects_non_int(self, bad):
         with pytest.raises(TypeError, match="random_state"):
             SVC(random_state=bad)
+
+
+class TestGammaFreezing:
+    def test_scale_gamma_frozen_at_fit(self):
+        # gamma="scale" must resolve against the *training* rows once;
+        # re-resolving against the support vectors (the old behaviour)
+        # gives a different bandwidth and different margins.
+        X, y = _linear_problem(n=180, seed=20, noise=0.05)
+        Xt = np.random.default_rng(21).normal(size=(80, 3))
+        auto = SVC(C=10.0, kernel="rbf", gamma="scale").fit(X, y)
+        explicit_gamma = 1.0 / (X.shape[1] * float(X.var()))
+        explicit = SVC(C=10.0, kernel="rbf", gamma=explicit_gamma).fit(X, y)
+        assert np.array_equal(
+            auto.decision_function(Xt), explicit.decision_function(Xt)
+        )
+
+    def test_frozen_gamma_differs_from_sv_resolved(self):
+        # Regression guard for the old bug: unless every training row is
+        # a support vector, variance over SVs differs from variance over
+        # the training set, so the bandwidths must differ.
+        X, y = _linear_problem(n=180, seed=22, noise=0.05)
+        model = SVC(C=10.0, kernel="rbf", gamma="scale").fit(X, y)
+        assert model.n_support_ < X.shape[0]
+        sv_gamma = 1.0 / (X.shape[1] * float(model.support_vectors_.var()))
+        assert model._fit_kernel.gamma != pytest.approx(sv_gamma, rel=1e-6)
+
+
+class TestPrecomputedGram:
+    def test_gram_path_bit_identical(self):
+        X, y = _linear_problem(n=150, seed=23, noise=0.05)
+        Xt = np.random.default_rng(24).normal(size=(50, 3))
+        plain = SVC(C=5.0, kernel="rbf", gamma=0.4).fit(X, y)
+        K = plain._fit_kernel(X, X)
+        via_gram = SVC(C=5.0, kernel="rbf", gamma=0.4).fit(X, y, gram=K)
+        assert np.array_equal(plain.alpha_all_, via_gram.alpha_all_)
+        assert np.array_equal(
+            plain.decision_function(Xt), via_gram.decision_function(Xt)
+        )
+
+    def test_wrong_shape_rejected(self):
+        X, y = _linear_problem(n=40, seed=25)
+        with pytest.raises(ValueError, match="gram"):
+            SVC().fit(X, y, gram=np.eye(7))
+
+
+class TestShrinking:
+    def test_shrinking_solution_equivalent(self):
+        # Shrinking is an optimization of the working-set scan, not of
+        # the optimality conditions: both solvers must satisfy the same
+        # KKT gap, agree on every prediction, and produce margins within
+        # the tol-equivalence bound.
+        X, y = _linear_problem(n=500, seed=26, noise=0.1)
+        Xt = np.random.default_rng(27).normal(size=(200, 3))
+        fast = SVC(C=10.0, kernel="rbf", shrinking=True).fit(X, y)
+        slow = SVC(C=10.0, kernel="rbf", shrinking=False).fit(X, y)
+        assert np.array_equal(fast.predict(Xt), slow.predict(Xt))
+        assert np.allclose(
+            fast.decision_function(Xt), slow.decision_function(Xt), atol=0.05
+        )
+
+    def test_shrunken_solution_satisfies_kkt(self):
+        X, y = _linear_problem(n=400, seed=28, noise=0.1)
+        model = SVC(C=10.0, kernel="rbf", shrinking=True).fit(X, y)
+        alpha, b = model.alpha_all_, model.intercept_
+        K = model._fit_kernel(X, X)
+        f = (alpha * y) @ K + b
+        eps, tol = 1e-8, model.tol
+        margins = y * f
+        # Free SVs sit on the margin; bound-0 points outside, bound-C inside.
+        free = (alpha > eps) & (alpha < model.C - eps)
+        assert np.all(np.abs(margins[free] - 1.0) < 20 * tol)
+        assert np.all(margins[alpha <= eps] > 1.0 - 20 * tol)
+        assert np.all(margins[alpha >= model.C - eps] < 1.0 + 20 * tol)
+
+    def test_small_problems_unaffected(self):
+        # Below the shrink threshold both paths are literally the same code.
+        X, y = _linear_problem(n=30, seed=29)
+        a = SVC(C=5.0, shrinking=True).fit(X, y)
+        b = SVC(C=5.0, shrinking=False).fit(X, y)
+        assert np.array_equal(a.alpha_all_, b.alpha_all_)
+
+    def test_warm_start_composes_with_shrinking(self):
+        X, y = _linear_problem(n=300, seed=30, noise=0.05)
+        cold = SVC(C=10.0, shrinking=True).fit(X, y)
+        warm = SVC(C=10.0, shrinking=True).fit(X, y, alpha_init=cold.alpha_all_)
+        assert warm.score(X, y) >= cold.score(X, y) - 0.02

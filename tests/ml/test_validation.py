@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.ml.online import default_svc_factory
 from repro.ml.svm import SVC
 from repro.ml.validation import KFold, cross_val_accuracy, train_test_split
 
@@ -70,6 +71,59 @@ class TestCrossValAccuracy:
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):
             cross_val_accuracy(lambda: SVC(), np.zeros((4, 1)), np.ones(3))
+
+
+def _ring_problem(n, seed, d=3):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, d))
+    y = np.where((X**2).sum(axis=1) < 4.0, 1.0, -1.0)
+    return X, y
+
+
+class TestParallelCV:
+    def test_parallel_equals_serial_exactly(self):
+        # Scores reduce in fold order regardless of worker scheduling,
+        # so the parallel result must be bit-identical to the serial one.
+        X, y = _ring_problem(200, seed=5)
+        serial = cross_val_accuracy(
+            default_svc_factory, X, y, n_splits=5, random_state=5, n_jobs=1
+        )
+        parallel = cross_val_accuracy(
+            default_svc_factory, X, y, n_splits=5, random_state=5, n_jobs=5
+        )
+        assert serial == parallel
+
+    def test_jobs_clamped_to_fold_count(self):
+        X, y = _ring_problem(60, seed=6)
+        serial = cross_val_accuracy(
+            default_svc_factory, X, y, n_splits=3, random_state=6, n_jobs=1
+        )
+        greedy = cross_val_accuracy(
+            default_svc_factory, X, y, n_splits=3, random_state=6, n_jobs=64
+        )
+        assert serial == greedy
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; the pool path must
+        # degrade to the serial loop, not crash.
+        X, y = _ring_problem(60, seed=7)
+        acc = cross_val_accuracy(
+            lambda: SVC(C=10.0, kernel="rbf", random_state=7),
+            X, y, n_splits=3, random_state=7, n_jobs=3,
+        )
+        reference = cross_val_accuracy(
+            default_svc_factory, X, y, n_splits=3, random_state=7, n_jobs=1
+        )
+        assert acc == reference
+
+    def test_auto_heuristic_stays_serial_below_threshold(self):
+        # Small problems never pay pool spawn overhead; lambda + default
+        # n_jobs must therefore succeed without touching a pool.
+        X, y = _ring_problem(40, seed=8)
+        acc = cross_val_accuracy(
+            lambda: SVC(C=1.0, kernel="linear"), X, y, n_splits=4, random_state=8
+        )
+        assert 0.0 <= acc <= 1.0
 
 
 class TestTrainTestSplit:
